@@ -1,0 +1,182 @@
+"""Experiment E12 — ablations of the design choices DESIGN.md calls out.
+
+Each ablation switches one modelling decision off to show it is
+load-bearing:
+
+* (a) **signature cost** — FastFabric's advantage exists only because
+  validation verifies signatures; with free crypto, parallel validation
+  buys nothing.
+* (b) **executor pool size** — OXII's makespan scheduling actually uses
+  the pool; throughput scales with executors until the dependency
+  structure binds.
+* (c) **reordering algorithm** — FabricSharp's exact minimum feedback
+  vertex set never aborts more than Fabric++'s greedy heuristic, and
+  the gap is real on dense conflict graphs.
+* (d) **WAN latency** — the sharded systems' cross-shard penalty comes
+  from the network model; on a LAN-only deployment it nearly vanishes.
+"""
+
+import random
+
+from repro.bench import print_table, run_architecture
+from repro.common.types import Operation, OpType, Transaction
+from repro.core import SystemConfig
+from repro.execution.contracts import standard_registry
+from repro.execution.mvcc import endorse
+from repro.execution.reorder import reorder_fabricpp, reorder_fabricsharp
+from repro.ledger.store import StateStore
+from repro.sharding import ShardedConfig, SharPerSystem
+from repro.workloads import KvWorkload, SmallBankWorkload, smallbank_registry
+
+
+def test_e12a_fastfabric_gain_requires_crypto_cost(run_once):
+    def run():
+        rows = []
+        for verify_cost in (0.0, 0.0005, 0.002):
+            for name in ("xov", "fastfabric"):
+                workload = KvWorkload(n_keys=5000, theta=0.0, seed=5)
+                result = run_architecture(
+                    name,
+                    workload.generate(200),
+                    SystemConfig(
+                        block_size=50, seed=15, verify_cost=verify_cost
+                    ),
+                )
+                rows.append(
+                    {
+                        "verify_cost": verify_cost,
+                        "system": name,
+                        "throughput_tps": round(result.throughput, 1),
+                    }
+                )
+        return rows
+
+    rows = run_once(run)
+    print_table(rows, title="E12a: FastFabric speedup vs signature cost")
+
+    def speedup(cost):
+        xov = next(r for r in rows if r["verify_cost"] == cost
+                   and r["system"] == "xov")["throughput_tps"]
+        fast = next(r for r in rows if r["verify_cost"] == cost
+                    and r["system"] == "fastfabric")["throughput_tps"]
+        return fast / xov
+
+    # With free crypto the two systems are nearly identical; the gap
+    # widens as verification gets more expensive.
+    assert speedup(0.0) < 1.2
+    assert speedup(0.002) > speedup(0.0005) > speedup(0.0)
+
+
+def test_e12b_oxii_scales_with_executor_pool(run_once):
+    def run():
+        rows = []
+        for executors in (1, 2, 4, 8):
+            workload = KvWorkload(n_keys=5000, theta=0.0, seed=6)
+            result = run_architecture(
+                "oxii",
+                workload.generate(200),
+                SystemConfig(
+                    block_size=50, seed=16, executors=executors,
+                    arrival_rate=None,
+                ),
+            )
+            rows.append(
+                {
+                    "executors": executors,
+                    "throughput_tps": round(result.throughput, 1),
+                }
+            )
+        return rows
+
+    rows = run_once(run)
+    print_table(rows, title="E12b: OXII throughput vs executor pool")
+    tps = [r["throughput_tps"] for r in rows]
+    assert tps[1] > 1.5 * tps[0]  # 2 executors ~2x one
+    assert tps == sorted(tps)
+
+
+def test_e12c_exact_reordering_beats_greedy_on_dense_graphs(run_once):
+    def run():
+        registry = standard_registry()
+        rng = random.Random(17)
+        total_pp = total_sharp = blocks = 0
+        for _ in range(40):
+            store = StateStore()
+            txs = []
+            for _ in range(10):
+                key = f"hot{rng.randrange(3)}"
+                if rng.random() < 0.5:
+                    tx = Transaction.create(
+                        "increment", (key,),
+                        declared_ops=(Operation(OpType.READ_WRITE, key),),
+                    )
+                else:
+                    tx = Transaction.create(
+                        "kv_get", (key,),
+                        declared_ops=(Operation(OpType.READ, key),),
+                    )
+                txs.append(tx)
+            endorsed = [endorse(t, store.snapshot(), registry) for t in txs]
+            pp = reorder_fabricpp(endorsed)
+            sharp = reorder_fabricsharp(endorsed, store)
+            total_pp += len(pp.aborted)
+            total_sharp += len(sharp.aborted) + len(sharp.early_aborted)
+            blocks += 1
+        return [
+            {
+                "algorithm": "fabricpp-greedy",
+                "aborts_per_block": round(total_pp / blocks, 2),
+            },
+            {
+                "algorithm": "fabricsharp-exact",
+                "aborts_per_block": round(total_sharp / blocks, 2),
+            },
+        ]
+
+    rows = run_once(run)
+    print_table(rows, title="E12c: greedy vs exact cycle-breaking aborts")
+    greedy = rows[0]["aborts_per_block"]
+    exact = rows[1]["aborts_per_block"]
+    assert exact <= greedy
+
+
+def test_e12d_cross_shard_penalty_is_the_wan(run_once):
+    def run():
+        rows = []
+        for wan_latency in (0.001, 0.05):
+            workload = SmallBankWorkload(
+                n_customers=200, n_shards=4, cross_shard_fraction=0.4, seed=7
+            )
+
+            def shard_of_key(key, wl=workload):
+                return wl.shard_of(key.split(":")[1])
+
+            system = SharPerSystem(
+                smallbank_registry(), shard_of_key,
+                ShardedConfig(n_clusters=4, seed=18, wan_latency=wan_latency),
+            )
+            for tx in workload.setup_transactions() + workload.generate(150):
+                system.submit(tx)
+            result = system.run()
+            rows.append(
+                {
+                    "wan_latency_s": wan_latency,
+                    "intra_latency": round(
+                        result.extra["intra_mean_latency"], 4
+                    ),
+                    "cross_latency": round(
+                        result.extra["cross_mean_latency"], 4
+                    ),
+                    "cross_penalty_x": round(
+                        result.extra["cross_mean_latency"]
+                        / max(result.extra["intra_mean_latency"], 1e-9),
+                        1,
+                    ),
+                }
+            )
+        return rows
+
+    rows = run_once(run)
+    print_table(rows, title="E12d: SharPer cross-shard penalty vs WAN latency")
+    lan, wan = rows
+    assert wan["cross_penalty_x"] > 3 * lan["cross_penalty_x"]

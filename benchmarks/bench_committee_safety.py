@@ -1,0 +1,113 @@
+"""Experiment E7 — AHL committee sizes and the trusted-hardware effect.
+
+Paper anchor (section 2.3.4): "To ensure safety with a high probability,
+each committee must include at least 80 nodes (instead of ~600 nodes in
+OmniLedger). To decrease the number of required nodes within each
+committee, AHL employs trusted hardware that restricts the malicious
+behavior of a node."
+
+Reproduced: the hypergeometric committee-failure calculation, the
+minimum committee size with and without trusted hardware (resilience
+1/3 vs 1/2), and the quorum-size effect inside a committee.
+"""
+
+from repro.bench import print_table
+from repro.consensus.base import ClusterConfig
+from repro.sharding import committee_failure_probability, min_committee_size
+
+POPULATION = 2000
+BYZ_FRACTION = 0.2  # 20% of all nodes are malicious
+
+
+def run_failure_curve():
+    byzantine = int(POPULATION * BYZ_FRACTION)
+    rows = []
+    for size in (20, 40, 60, 80, 120, 200):
+        plain = committee_failure_probability(
+            POPULATION, byzantine, size, resilience=1 / 3
+        )
+        attested = committee_failure_probability(
+            POPULATION, byzantine, size, resilience=1 / 2
+        )
+        rows.append(
+            {
+                "committee_size": size,
+                "p_fail_resilience_1/3": f"{plain:.2e}",
+                "p_fail_resilience_1/2": f"{attested:.2e}",
+            }
+        )
+    return rows
+
+
+def test_e7a_committee_failure_probability(run_once):
+    rows = run_once(run_failure_curve)
+    print_table(
+        rows,
+        title=f"E7a: committee failure probability "
+        f"(N={POPULATION}, {BYZ_FRACTION:.0%} Byzantine)",
+    )
+    probabilities = [float(r["p_fail_resilience_1/3"]) for r in rows]
+    assert probabilities == sorted(probabilities, reverse=True)
+
+
+def run_min_sizes():
+    rows = []
+    for epsilon_exp in (10, 16, 20):
+        plain = min_committee_size(
+            POPULATION, BYZ_FRACTION, epsilon=2**-epsilon_exp, resilience=1 / 3
+        )
+        attested = min_committee_size(
+            POPULATION, BYZ_FRACTION, epsilon=2**-epsilon_exp, resilience=1 / 2
+        )
+        rows.append(
+            {
+                "epsilon": f"2^-{epsilon_exp}",
+                "min_size_no_hardware": plain,
+                "min_size_trusted_hw": attested,
+                "saving": f"{1 - attested / plain:.0%}",
+            }
+        )
+    return rows
+
+
+def test_e7b_trusted_hardware_shrinks_committees(run_once):
+    rows = run_once(run_min_sizes)
+    print_table(rows, title="E7b: min committee size, 1/3 vs 1/2 resilience")
+    for row in rows:
+        assert row["min_size_trusted_hw"] < row["min_size_no_hardware"]
+    # The paper's ballpark: with ~2^-20 safety the plain committee is in
+    # the tens-of-nodes range (cf. "at least 80 nodes"), far below
+    # OmniLedger's ~600.
+    final = rows[-1]
+    assert 40 <= final["min_size_no_hardware"] <= 300
+
+
+def run_quorum_table():
+    rows = []
+    for n in (4, 7, 10):
+        plain = ClusterConfig(
+            replica_ids=[f"r{i}" for i in range(n)], byzantine=True
+        )
+        attested = ClusterConfig(
+            replica_ids=[f"r{i}" for i in range(n)],
+            byzantine=True,
+            trusted_hardware=True,
+        )
+        rows.append(
+            {
+                "committee_size": n,
+                "f_plain": plain.f,
+                "quorum_plain": plain.quorum,
+                "f_trusted_hw": attested.f,
+                "quorum_trusted_hw": attested.quorum,
+            }
+        )
+    return rows
+
+
+def test_e7c_quorum_reduction_inside_committee(run_once):
+    rows = run_once(run_quorum_table)
+    print_table(rows, title="E7c: 3f+1 vs 2f+1 committees (trusted hardware)")
+    for row in rows:
+        assert row["f_trusted_hw"] >= row["f_plain"]
+        assert row["quorum_trusted_hw"] <= row["quorum_plain"]

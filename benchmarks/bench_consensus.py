@@ -1,0 +1,87 @@
+"""Experiment E3 — consensus protocol comparison.
+
+Paper anchor (section 2.2 / 2.3.3): permissioned blockchains order
+through crash (Paxos, Raft) or Byzantine (PBFT, HotStuff, Tendermint,
+IBFT) fault-tolerant protocols; the fault model dictates cluster size
+(2f+1 vs 3f+1) and the protocols differ in message complexity.
+
+Reproduced series: messages per decision and decision latency for all
+six protocols as the cluster grows, plus leader-crash recovery.
+"""
+
+from repro.bench import print_table
+from repro.consensus import PROTOCOLS, ConsensusCluster
+
+SIZES = [4, 7, 10]
+DECISIONS = 20
+
+
+def run_protocol(name, n, seed=31):
+    cls, byzantine = PROTOCOLS[name]
+    if not byzantine and n == 4:
+        n = 3
+    cluster = ConsensusCluster(cls, n=n, byzantine=byzantine, seed=seed)
+    for i in range(DECISIONS):
+        cluster.submit(f"{name}-{n}-{i}")
+    done = cluster.run_until_decided(DECISIONS, timeout=120)
+    assert done and cluster.agreement_holds(), f"{name} n={n} failed"
+    return {
+        "protocol": name,
+        "n": n,
+        "fault_model": "byzantine" if byzantine else "crash",
+        "quorum": cluster.config.quorum,
+        "msgs_per_decision": round(cluster.message_count() / DECISIONS, 1),
+        "latency_last": round(cluster.decision_latency(DECISIONS - 1), 4),
+    }
+
+
+def run_e3():
+    rows = []
+    for n in SIZES:
+        for name in sorted(PROTOCOLS):
+            rows.append(run_protocol(name, n))
+    return rows
+
+
+def test_e3_consensus_comparison(run_once):
+    rows = run_once(run_e3)
+    print_table(rows, title="E3: consensus protocols vs cluster size")
+
+    def pick(name, n):
+        return next(
+            r for r in rows if r["protocol"] == name and r["n"] in (n, 3)
+        )
+
+    # Crash protocols need smaller quorums than Byzantine ones.
+    assert pick("raft", 7)["quorum"] < pick("pbft", 7)["quorum"]
+    # PBFT's all-to-all phases cost more messages than Raft's
+    # leader-centric replication at the same size.
+    assert (
+        pick("pbft", 10)["msgs_per_decision"]
+        > pick("raft", 10)["msgs_per_decision"]
+    )
+    # Message cost grows with cluster size for the BFT protocols.
+    assert (
+        pick("pbft", 10)["msgs_per_decision"]
+        > pick("pbft", 4)["msgs_per_decision"]
+    )
+
+
+def run_leader_crash(name, seed=33):
+    cls, byzantine = PROTOCOLS[name]
+    n = 4 if byzantine else 3
+    cluster = ConsensusCluster(cls, n=n, byzantine=byzantine, seed=seed)
+    cluster.replicas[cluster.config.replica_ids[0]].crash()
+    cluster.submit("recovery-probe", via=cluster.config.replica_ids[1])
+    ok = cluster.run_until_decided(1, timeout=120)
+    return {
+        "protocol": name,
+        "recovered": ok,
+        "recovery_time": round(cluster.decision_latency(0), 3) if ok else None,
+    }
+
+
+def test_e3_leader_crash_recovery(run_once):
+    rows = run_once(lambda: [run_leader_crash(p) for p in sorted(PROTOCOLS)])
+    print_table(rows, title="E3b: recovery from initial-leader crash")
+    assert all(r["recovered"] for r in rows)

@@ -1,0 +1,83 @@
+"""Experiment E8 — Tendermint proof-of-stake voting power.
+
+Paper anchor (section 2.3.3): "in Tendermint, validators do not have the
+same 'weight' in the consensus protocol, and the voting power of a
+validator corresponds to the number of its bounded coins. As a result,
+one-third or two-thirds of the validators are defined based on the
+proportions of the total voting power not the number of validators."
+
+Reproduced: liveness as a function of the *stake* controlled by crashed
+validators — crashing many low-stake validators is harmless while
+crashing one high-stake validator halts consensus — plus proposer-slot
+proportionality.
+"""
+
+from collections import Counter
+
+from repro.bench import print_table
+from repro.consensus import ConsensusCluster
+from repro.consensus.tendermint import TendermintReplica, proposer_schedule
+
+WEIGHTS = {"r0": 40, "r1": 30, "r2": 20, "r3": 5, "r4": 3, "r5": 2}
+
+
+def run_stake_crash(crashed):
+    cluster = ConsensusCluster(
+        TendermintReplica, n=6, seed=81, weights=WEIGHTS
+    )
+    for rid in crashed:
+        cluster.replicas[rid].crash()
+    alive = next(
+        rid for rid in cluster.config.replica_ids if rid not in crashed
+    )
+    for i in range(3):
+        cluster.submit(f"stake-{'-'.join(crashed) or 'none'}-{i}", via=alive)
+    ok = cluster.run_until_decided(3, timeout=20)
+    dead_power = sum(WEIGHTS[r] for r in crashed)
+    return {
+        "crashed": ",".join(crashed) or "none",
+        "validators_down": len(crashed),
+        "stake_down_pct": round(100 * dead_power / sum(WEIGHTS.values()), 1),
+        "live": ok,
+    }
+
+
+def run_e8():
+    return [
+        run_stake_crash([]),
+        # Three validators down but only 10% of stake: must stay live.
+        run_stake_crash(["r3", "r4", "r5"]),
+        # One validator down holding 40% of stake: >1/3 power gone,
+        # consensus must halt.
+        run_stake_crash(["r0"]),
+    ]
+
+
+def test_e8_voting_power_not_headcount(run_once):
+    rows = run_once(run_e8)
+    print_table(rows, title="E8: Tendermint liveness vs crashed stake")
+    by_crashed = {r["crashed"]: r for r in rows}
+    assert by_crashed["none"]["live"]
+    assert by_crashed["r3,r4,r5"]["live"]  # 3 validators, 10% stake
+    assert not by_crashed["r0"]["live"]  # 1 validator, 40% stake
+
+
+def test_e8b_proposer_slots_proportional_to_stake(run_once):
+    def proportions():
+        schedule = proposer_schedule(sorted(WEIGHTS), WEIGHTS)
+        counts = Counter(schedule)
+        total = sum(counts.values())
+        return [
+            {
+                "validator": rid,
+                "stake": WEIGHTS[rid],
+                "proposer_share": round(counts[rid] / total, 3),
+                "stake_share": round(WEIGHTS[rid] / sum(WEIGHTS.values()), 3),
+            }
+            for rid in sorted(WEIGHTS)
+        ]
+
+    rows = run_once(proportions)
+    print_table(rows, title="E8b: proposer slots vs stake share")
+    for row in rows:
+        assert row["proposer_share"] == row["stake_share"]

@@ -1,0 +1,67 @@
+"""Experiment E15 — the Fabric family on the canonical YCSB profiles.
+
+The optimisation papers the tutorial surveys (FastFabric, Fabric++,
+FabricSharp) evaluate on YCSB mixes; this bench runs the same named
+profiles (A: update-heavy, B: read-mostly, C: read-only, F:
+read-modify-write) at the canonical Zipfian constant 0.99 so the
+reproduction speaks the literature's language.
+
+Expected shape: C aborts nothing (reads cannot conflict); A aborts more
+than B (more writes, more conflicts); F is the worst for plain XOV
+(every write is a read-modify-write — unreorderable cycles); XOX
+recovers everything on every profile.
+"""
+
+from repro.bench import print_table, run_architecture
+from repro.core import SystemConfig
+from repro.workloads.ycsb import profiles, ycsb
+
+SYSTEM_NAMES = ["xov", "fabricsharp", "xox"]
+N_TXS = 250
+
+
+def run_e15():
+    rows = []
+    for profile in profiles():
+        for name in SYSTEM_NAMES:
+            workload = ycsb(profile, n_keys=300, theta=0.99, seed=151)
+            result = run_architecture(
+                name, workload.generate(N_TXS),
+                SystemConfig(block_size=50, seed=151),
+            )
+            rows.append(
+                {
+                    "ycsb": profile.upper(),
+                    "system": name,
+                    "committed": result.committed,
+                    "abort_rate": round(result.abort_rate, 3),
+                    "throughput_tps": round(result.throughput, 1),
+                }
+            )
+    return rows
+
+
+def test_e15_ycsb_profiles(run_once):
+    rows = run_once(run_e15)
+    print_table(rows, title="E15: Fabric family on YCSB A/B/C/F (theta=0.99)")
+
+    def pick(profile, system, field):
+        return next(
+            r[field] for r in rows
+            if r["ycsb"] == profile and r["system"] == system
+        )
+
+    # C (read-only): nothing can conflict.
+    for name in SYSTEM_NAMES:
+        assert pick("C", name, "abort_rate") == 0.0
+    # More writes, more aborts: A > B for plain XOV.
+    assert pick("A", "xov", "abort_rate") > pick("B", "xov", "abort_rate")
+    # F's RMW cycles are unreorderable: FabricSharp cannot beat XOV by
+    # much there, while on A (blind writes + reads) it can.
+    assert (
+        pick("A", "fabricsharp", "abort_rate")
+        <= pick("A", "xov", "abort_rate")
+    )
+    # XOX recovers every conflict casualty on every profile.
+    for profile in ("A", "B", "F"):
+        assert pick(profile, "xox", "abort_rate") == 0.0

@@ -1,0 +1,21 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Each benchmark runs its experiment exactly once (``benchmark.pedantic``
+with one round) — these are reproducibility experiments over a
+deterministic simulator, not micro-benchmarks, so repeated timing adds
+nothing. The printed tables are the paper-shape evidence recorded in
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment function once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,50 @@
+"""repro — a full reproduction of "Permissioned Blockchains: Properties,
+Techniques and Applications" (Amiri, Agrawal, El Abbadi — SIGMOD 2021).
+
+The tutorial surveys the techniques permissioned blockchain systems use
+to meet four requirements of large-scale data management; this library
+implements every surveyed system on a deterministic discrete-event
+simulator:
+
+* **consensus** (section 2.2) — PBFT, Paxos, Raft, HotStuff,
+  Tendermint, Istanbul BFT: ``repro.consensus``
+* **performance architectures** (section 2.3.3) — OX, OXII
+  (ParBlockchain), XOV (Fabric), FastFabric, Fabric++, FabricSharp,
+  XOX: ``repro.core``
+* **confidentiality** (section 2.3.1) — Caper, multi-channel Fabric,
+  private data collections: ``repro.confidentiality``
+* **verifiability** (section 2.3.2) — zero-knowledge proofs, Quorum
+  private transactions, Separ tokens: ``repro.verifiability``
+* **scalability** (section 2.3.4) — ResilientDB, AHL, SharPer,
+  Saguaro: ``repro.sharding``
+* **applications** (section 2.1) — supply chain, crowdworking, sharded
+  database: ``repro.apps``
+
+Quickstart (Figure 1 — a five-node permissioned blockchain):
+
+    >>> from repro.core import OxSystem, SystemConfig
+    >>> from repro.common.types import Transaction
+    >>> system = OxSystem(SystemConfig(orderers=5, protocol="pbft"))
+    >>> system.submit(Transaction.create("kv_set", ("greeting", "hello")))
+    >>> result = system.run()
+    >>> result.committed
+    1
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "apps",
+    "bench",
+    "common",
+    "confidentiality",
+    "consensus",
+    "core",
+    "crypto",
+    "execution",
+    "ledger",
+    "sharding",
+    "sim",
+    "verifiability",
+    "workloads",
+]

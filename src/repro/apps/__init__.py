@@ -1,0 +1,20 @@
+"""The three motivating applications (paper section 2.1), as libraries.
+
+Each wraps the relevant technique packages into the scenario the paper
+describes; the runnable scripts in ``examples/`` are thin drivers over
+these classes.
+"""
+
+from repro.apps.crowdworking import CrowdworkingDeployment, WorkerWallet
+from repro.apps.sharded_db import BACKENDS, ShardedBankDatabase
+from repro.apps.supply_chain import Sla, SlaReport, SupplyChainConsortium
+
+__all__ = [
+    "BACKENDS",
+    "CrowdworkingDeployment",
+    "ShardedBankDatabase",
+    "Sla",
+    "SlaReport",
+    "SupplyChainConsortium",
+    "WorkerWallet",
+]

@@ -1,0 +1,110 @@
+"""Multi-platform crowdworking application (paper section 2.1.3).
+
+Wires the Separ pieces into the scenario the paper motivates with: a
+worker who drives for several platforms, a trusted authority modelling
+FLSA's 40-hour cap as tokens, and platforms collectively enforcing the
+cap on a shared ledger — plus the Prop 22 side: a worker proving 25+
+hours across platforms to claim a healthcare subsidy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+from repro.common.metrics import RunResult
+from repro.verifiability.separ import (
+    SeparConfig,
+    SeparSystem,
+    Token,
+    TokenAuthority,
+)
+from repro.workloads.crowdworking import (
+    FLSA_WEEKLY_CAP,
+    PROP22_HEALTHCARE_THRESHOLD,
+    WorkClaim,
+)
+
+
+@dataclass
+class WorkerWallet:
+    """A worker's client-side token wallet and spent-token receipts."""
+
+    worker: str
+    tokens: list[Token] = field(default_factory=list)
+    receipts: list[str] = field(default_factory=list)
+
+    def spend(self, hours: int) -> list[Token]:
+        if hours > len(self.tokens):
+            raise ValidationError(
+                f"{self.worker} has {len(self.tokens)} tokens, needs {hours}"
+            )
+        spent = [self.tokens.pop() for _ in range(hours)]
+        self.receipts.extend(token.serial for token in spent)
+        return spent
+
+    @property
+    def remaining_hours(self) -> int:
+        return len(self.tokens)
+
+
+class CrowdworkingDeployment:
+    """Authority + platforms + workers, ready to process claims."""
+
+    def __init__(
+        self,
+        platforms: list[str],
+        workers: list[str],
+        weekly_cap: int = FLSA_WEEKLY_CAP,
+        config: SeparConfig | None = None,
+    ) -> None:
+        self.authority = TokenAuthority(weekly_cap=weekly_cap)
+        self.system = SeparSystem(platforms, self.authority, config)
+        self.wallets = {worker: WorkerWallet(worker=worker) for worker in workers}
+        self._rejected_at_wallet = 0
+
+    def issue_week(self, week: int = 0) -> None:
+        """The authority hands every worker a fresh week of hour-tokens."""
+        for worker, wallet in self.wallets.items():
+            wallet.tokens.extend(
+                self.authority.issue(worker, week, self.authority.weekly_cap)
+            )
+
+    def submit_claim(self, claim: WorkClaim) -> bool:
+        """The worker spends tokens and the platform submits the claim.
+
+        Returns False when the worker's wallet cannot cover the hours —
+        the cap binding client-side, before anything reaches the ledger.
+        """
+        wallet = self.wallets[claim.worker]
+        if wallet.remaining_hours < claim.hours:
+            self._rejected_at_wallet += 1
+            return False
+        tokens = wallet.spend(claim.hours)
+        self.system.submit(SeparSystem.tokenize(claim, tokens))
+        return True
+
+    def run(self) -> RunResult:
+        return self.system.run()
+
+    # -- regulatory queries --------------------------------------------------------
+
+    def hours_worked(self, worker: str) -> int:
+        """Hours the worker can *prove* across all platforms."""
+        return self.system.hours_proven_by(self.wallets[worker].receipts)
+
+    def qualifies_for_healthcare(self, worker: str) -> bool:
+        """California Prop 22: 25+ proven hours per week."""
+        return self.hours_worked(worker) >= PROP22_HEALTHCARE_THRESHOLD
+
+    def flsa_compliant(self) -> bool:
+        """No worker can have worked more than the cap: the cap is the
+        token issuance limit and every committed hour burned a token."""
+        return all(
+            self.hours_worked(worker) <= self.authority.weekly_cap
+            for worker in self.wallets
+        )
+
+    @property
+    def wallet_rejections(self) -> int:
+        return self._rejected_at_wallet

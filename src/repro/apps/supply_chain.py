@@ -1,0 +1,177 @@
+"""Supply-chain management application (paper section 2.1.1).
+
+A thin, opinionated layer over the library: a consortium of enterprises
+runs its collaborative process on a Caper network, internal steps stay
+confidential, shipments and payments are cross-enterprise, and SLA
+conformance is checked against the shared (cross-enterprise) part of
+the ledger — "monitor the execution of the collaborative process and
+check conformance between the execution and SLAs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+from repro.common.metrics import RunResult
+from repro.common.types import Operation, OpType, Transaction, TxType
+from repro.confidentiality.caper import CaperConfig, CaperSystem
+from repro.workloads.supply_chain import (
+    balance_key,
+    inventory_key,
+    supply_chain_registry,
+)
+
+
+@dataclass(frozen=True)
+class Sla:
+    """A service-level agreement between two enterprises.
+
+    ``min_shipments`` units of ``item`` must flow from ``supplier`` to
+    ``consumer`` over the monitored window, and every shipment must be
+    paid for (``price_per_unit``).
+    """
+
+    supplier: str
+    consumer: str
+    item: str
+    min_shipments: int
+    price_per_unit: int
+
+
+@dataclass
+class SlaReport:
+    """Conformance-check outcome for one SLA."""
+
+    sla: Sla
+    shipments_seen: int = 0
+    units_shipped: int = 0
+    payments_seen: int = 0
+    amount_paid: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def conformant(self) -> bool:
+        return not self.violations
+
+
+class SupplyChainConsortium:
+    """A supply-chain deployment over Caper."""
+
+    def __init__(
+        self,
+        enterprises: list[str],
+        slas: list[Sla] | None = None,
+        config: CaperConfig | None = None,
+    ) -> None:
+        self.enterprises = list(enterprises)
+        self.slas = list(slas or [])
+        self.system = CaperSystem(
+            enterprises, supply_chain_registry(), config
+        )
+
+    # -- business operations --------------------------------------------------
+
+    def internal_step(
+        self, enterprise: str, contract: str, item: str, qty: int
+    ) -> Transaction:
+        """A confidential production step inside one enterprise."""
+        if contract not in ("produce", "consume"):
+            raise ValidationError(f"not an internal step: {contract}")
+        tx = Transaction.create(
+            contract,
+            (enterprise, item, qty),
+            submitter=enterprise,
+            tx_type=TxType.INTERNAL,
+            declared_ops=(
+                Operation(OpType.READ_WRITE, inventory_key(enterprise, item)),
+            ),
+            involved={enterprise},
+        )
+        self.system.submit(tx)
+        return tx
+
+    def ship(self, src: str, dst: str, item: str, qty: int) -> Transaction:
+        tx = Transaction.create(
+            "ship",
+            (src, dst, item, qty),
+            submitter=src,
+            tx_type=TxType.CROSS_ENTERPRISE,
+            declared_ops=(
+                Operation(OpType.READ_WRITE, inventory_key(src, item)),
+                Operation(OpType.READ_WRITE, inventory_key(dst, item)),
+            ),
+            involved={src, dst},
+        )
+        self.system.submit(tx)
+        return tx
+
+    def pay(self, src: str, dst: str, amount: int) -> Transaction:
+        tx = Transaction.create(
+            "pay",
+            (src, dst, amount),
+            submitter=src,
+            tx_type=TxType.CROSS_ENTERPRISE,
+            declared_ops=(
+                Operation(OpType.READ_WRITE, balance_key(src)),
+                Operation(OpType.READ_WRITE, balance_key(dst)),
+            ),
+            involved={src, dst},
+        )
+        self.system.submit(tx)
+        return tx
+
+    def fund(self, enterprise: str, amount: int) -> Transaction:
+        tx = Transaction.create(
+            "fund",
+            (enterprise, amount),
+            submitter=enterprise,
+            tx_type=TxType.INTERNAL,
+            declared_ops=(
+                Operation(OpType.READ_WRITE, balance_key(enterprise)),
+            ),
+            involved={enterprise},
+        )
+        self.system.submit(tx)
+        return tx
+
+    def run(self) -> RunResult:
+        return self.system.run()
+
+    # -- SLA conformance (on the shared part of the ledger) ---------------------
+
+    def check_sla(self, sla: Sla) -> SlaReport:
+        """Audit the cross-enterprise spine of any participant's view.
+
+        Conformance checking needs no confidential data: shipments and
+        payments are cross-enterprise transactions, visible in every
+        enterprise's view.
+        """
+        report = SlaReport(sla=sla)
+        for vertex in self.system.view(sla.supplier):
+            if vertex.enterprise is not None:
+                continue  # internal tx: not part of the shared process
+            tx = vertex.tx
+            if tx.contract == "ship":
+                src, dst, item, qty = tx.args
+                if (src, dst, item) == (sla.supplier, sla.consumer, sla.item):
+                    report.shipments_seen += 1
+                    report.units_shipped += qty
+            elif tx.contract == "pay":
+                src, dst, amount = tx.args
+                if (src, dst) == (sla.consumer, sla.supplier):
+                    report.payments_seen += 1
+                    report.amount_paid += amount
+        if report.units_shipped < sla.min_shipments:
+            report.violations.append(
+                f"only {report.units_shipped}/{sla.min_shipments} units shipped"
+            )
+        owed = report.units_shipped * sla.price_per_unit
+        if report.amount_paid < owed:
+            report.violations.append(
+                f"paid {report.amount_paid} of {owed} owed"
+            )
+        return report
+
+    def check_all_slas(self) -> list[SlaReport]:
+        return [self.check_sla(sla) for sla in self.slas]

@@ -1,0 +1,15 @@
+"""Benchmark harness utilities shared by everything under ``benchmarks/``."""
+
+from repro.bench.export import to_csv, to_markdown
+from repro.bench.harness import compare_systems, run_architecture, sweep
+from repro.bench.reporting import format_table, print_table
+
+__all__ = [
+    "compare_systems",
+    "format_table",
+    "print_table",
+    "run_architecture",
+    "sweep",
+    "to_csv",
+    "to_markdown",
+]

@@ -1,0 +1,42 @@
+"""Exporting benchmark rows: CSV and markdown for EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+import csv
+import io
+import pathlib
+from typing import Any
+
+
+def to_csv(rows: list[dict[str, Any]], path: str | pathlib.Path | None = None
+           ) -> str:
+    """Render rows as CSV; optionally also write them to ``path``."""
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer, fieldnames=list(rows[0].keys()), lineterminator="\n"
+    )
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    text = buffer.getvalue()
+    if path is not None:
+        pathlib.Path(path).write_text(text)
+    return text
+
+
+def to_markdown(rows: list[dict[str, Any]]) -> str:
+    """Render rows as a GitHub-flavoured markdown table."""
+    if not rows:
+        return ""
+    columns = list(rows[0].keys())
+    lines = [
+        "| " + " | ".join(columns) + " |",
+        "|" + "|".join("---" for _ in columns) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(str(row.get(c, "")) for c in columns) + " |"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Experiment harness: run a system over a workload, collect one row.
+
+Benchmarks are parameter sweeps; this module holds the shared glue so
+each benchmark file is mostly its parameter grid (DESIGN.md experiment
+index maps experiments to these helpers).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.common.metrics import RunResult
+from repro.common.types import Transaction
+from repro.core import SYSTEMS, BlockchainSystem, SystemConfig
+from repro.execution.contracts import ContractRegistry
+
+
+def run_architecture(
+    name: str,
+    transactions: list[Transaction],
+    config: SystemConfig | None = None,
+    registry: ContractRegistry | None = None,
+) -> RunResult:
+    """Run one core architecture over a fixed transaction list."""
+    system_cls = SYSTEMS[name]
+    system: BlockchainSystem = system_cls(config or SystemConfig(), registry)
+    for tx in transactions:
+        system.submit(tx)
+    return system.run()
+
+
+def sweep(
+    variable: str,
+    values: list[Any],
+    runner: Callable[[Any], RunResult],
+    extra_fields: Callable[[RunResult], dict[str, Any]] | None = None,
+) -> list[dict[str, Any]]:
+    """Run ``runner`` per value; rows carry the swept variable first."""
+    rows = []
+    for value in values:
+        result = runner(value)
+        row: dict[str, Any] = {variable: value}
+        row.update(result.to_row())
+        if extra_fields is not None:
+            row.update(extra_fields(result))
+        rows.append(row)
+    return rows
+
+
+def compare_systems(
+    names: list[str],
+    make_workload: Callable[[], list[Transaction]],
+    make_config: Callable[[], SystemConfig],
+    registry_factory: Callable[[], ContractRegistry] | None = None,
+) -> list[dict[str, Any]]:
+    """One row per architecture, identical workload and configuration."""
+    rows = []
+    for name in names:
+        registry = registry_factory() if registry_factory else None
+        result = run_architecture(
+            name, make_workload(), make_config(), registry
+        )
+        rows.append(result.to_row())
+    return rows

@@ -1,0 +1,45 @@
+"""Plain-text table rendering for benchmark output.
+
+Every benchmark prints its series through these helpers so that
+EXPERIMENTS.md rows and ``pytest benchmarks/`` output share one format.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def format_table(rows: list[dict[str, Any]], title: str | None = None) -> str:
+    """Render dict rows as an aligned text table (column order from the
+    first row)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    rendered = [
+        [_format_cell(row.get(column, "")) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for line in rendered:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def print_table(rows: list[dict[str, Any]], title: str | None = None) -> None:
+    print()
+    print(format_table(rows, title))
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

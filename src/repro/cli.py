@@ -1,0 +1,174 @@
+"""Command-line interface: explore the reproduction without writing code.
+
+    python -m repro list                 # what can run
+    python -m repro quickstart           # Figure 1 in one command
+    python -m repro compare --skew 0.9   # OX/OXII/XOV + Fabric family
+    python -m repro consensus --n 7      # protocol comparison
+    python -m repro shard --clusters 4   # the four sharded systems
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import print_table, run_architecture
+from repro.common.types import Transaction
+from repro.consensus import PROTOCOLS, ConsensusCluster
+from repro.core import SYSTEMS, OxSystem, SystemConfig
+from repro.sharding import (
+    AhlSystem,
+    ResilientDbSystem,
+    SaguaroConfig,
+    SaguaroSystem,
+    ShardedConfig,
+    SharPerSystem,
+)
+from repro.workloads import KvWorkload, SmallBankWorkload, smallbank_registry
+
+
+def cmd_list(_args) -> None:
+    print("architectures:", ", ".join(sorted(SYSTEMS)))
+    print("consensus protocols:", ", ".join(sorted(PROTOCOLS)))
+    print("sharded systems: sharper, ahl, saguaro, resilientdb")
+    print("experiments: see benchmarks/ (pytest benchmarks/ --benchmark-only)")
+
+
+def cmd_quickstart(args) -> None:
+    system = OxSystem(
+        SystemConfig(orderers=5, protocol="pbft", block_size=20, seed=args.seed)
+    )
+    for i in range(args.txs):
+        system.submit(Transaction.create("kv_set", (f"key{i}", i)))
+    result = system.run()
+    print_table([result.to_row()], title="Figure 1: five-node OX over PBFT")
+
+
+def cmd_compare(args) -> None:
+    rows = []
+    for name in sorted(SYSTEMS):
+        workload = KvWorkload(
+            n_keys=5000, theta=args.skew, read_fraction=0.3,
+            rmw_fraction=0.5, seed=args.seed,
+        )
+        result = run_architecture(
+            name, workload.generate(args.txs),
+            SystemConfig(block_size=50, seed=args.seed),
+        )
+        rows.append(result.to_row())
+    print_table(rows, title=f"architectures at Zipf skew {args.skew}")
+
+
+def cmd_consensus(args) -> None:
+    rows = []
+    for name in sorted(PROTOCOLS):
+        cls, byzantine = PROTOCOLS[name]
+        n = args.n if byzantine else max(3, args.n - 1)
+        cluster = ConsensusCluster(cls, n=n, byzantine=byzantine,
+                                   seed=args.seed)
+        for i in range(args.txs):
+            cluster.submit(f"{name}-{i}")
+        ok = cluster.run_until_decided(args.txs, timeout=120)
+        rows.append(
+            {
+                "protocol": name,
+                "n": n,
+                "fault_model": "byzantine" if byzantine else "crash",
+                "decided": ok,
+                "msgs_per_decision": round(
+                    cluster.message_count() / max(1, args.txs), 1
+                ),
+            }
+        )
+    print_table(rows, title=f"consensus protocols ({args.txs} decisions)")
+
+
+_SHARD_SYSTEMS = {
+    "sharper": SharPerSystem,
+    "ahl": AhlSystem,
+    "saguaro": SaguaroSystem,
+    "resilientdb": ResilientDbSystem,
+}
+
+
+def cmd_shard(args) -> None:
+    rows = []
+    for name, cls in _SHARD_SYSTEMS.items():
+        workload = SmallBankWorkload(
+            n_customers=200, n_shards=args.clusters,
+            cross_shard_fraction=args.cross, seed=args.seed,
+        )
+
+        def shard_of_key(key, wl=workload):
+            return wl.shard_of(key.split(":")[1])
+
+        config_cls = SaguaroConfig if name == "saguaro" else ShardedConfig
+        system = cls(
+            smallbank_registry(), shard_of_key,
+            config_cls(n_clusters=args.clusters, seed=args.seed),
+        )
+        for tx in workload.setup_transactions() + workload.generate(args.txs):
+            system.submit(tx)
+        result = system.run()
+        rows.append(
+            {
+                "system": name,
+                "committed": result.committed,
+                "throughput_tps": round(result.throughput, 1),
+                "intra_latency": round(result.extra["intra_mean_latency"], 4),
+                "cross_latency": round(result.extra["cross_mean_latency"], 4),
+            }
+        )
+    print_table(
+        rows,
+        title=f"sharded systems ({args.clusters} clusters, "
+        f"{args.cross:.0%} cross-shard)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Permissioned blockchains (SIGMOD'21 tutorial) "
+        "reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list runnable systems").set_defaults(
+        fn=cmd_list
+    )
+
+    quickstart = sub.add_parser("quickstart", help="Figure 1 end to end")
+    quickstart.add_argument("--txs", type=int, default=100)
+    quickstart.add_argument("--seed", type=int, default=0)
+    quickstart.set_defaults(fn=cmd_quickstart)
+
+    compare = sub.add_parser("compare", help="compare the 7 architectures")
+    compare.add_argument("--skew", type=float, default=0.9)
+    compare.add_argument("--txs", type=int, default=200)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.set_defaults(fn=cmd_compare)
+
+    consensus = sub.add_parser("consensus", help="compare the 6 protocols")
+    consensus.add_argument("--n", type=int, default=4)
+    consensus.add_argument("--txs", type=int, default=10)
+    consensus.add_argument("--seed", type=int, default=0)
+    consensus.set_defaults(fn=cmd_consensus)
+
+    shard = sub.add_parser("shard", help="compare the 4 sharded systems")
+    shard.add_argument("--clusters", type=int, default=4)
+    shard.add_argument("--cross", type=float, default=0.15)
+    shard.add_argument("--txs", type=int, default=150)
+    shard.add_argument("--seed", type=int, default=0)
+    shard.set_defaults(fn=cmd_shard)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.fn(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

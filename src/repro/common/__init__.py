@@ -1,0 +1,44 @@
+"""Shared primitives used across the library.
+
+This package contains the domain types (transactions, identifiers),
+the error hierarchy, and the metrics machinery that every subsystem
+reports into. Nothing in here depends on any other ``repro`` package.
+"""
+
+from repro.common.errors import (
+    ConfigError,
+    ConsensusError,
+    CryptoError,
+    ExecutionError,
+    LedgerError,
+    ReproError,
+    ValidationError,
+)
+from repro.common.metrics import LatencyRecorder, MetricsRegistry, RunResult
+from repro.common.types import (
+    Endorsement,
+    Operation,
+    OpType,
+    Transaction,
+    TxStatus,
+    TxType,
+)
+
+__all__ = [
+    "ConfigError",
+    "ConsensusError",
+    "CryptoError",
+    "Endorsement",
+    "ExecutionError",
+    "LatencyRecorder",
+    "LedgerError",
+    "MetricsRegistry",
+    "Operation",
+    "OpType",
+    "ReproError",
+    "RunResult",
+    "Transaction",
+    "TxStatus",
+    "TxType",
+    "ValidationError",
+]

@@ -1,0 +1,34 @@
+"""Error hierarchy for the library.
+
+Every exception raised by ``repro`` derives from :class:`ReproError`, so
+callers can catch one base class at an API boundary. Subclasses mark which
+subsystem detected the problem, not which subsystem caused it.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, out of range, or inconsistent."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic check failed (bad signature, broken proof, ...)."""
+
+
+class LedgerError(ReproError):
+    """A ledger invariant was violated (broken hash chain, bad block, ...)."""
+
+
+class ValidationError(ReproError):
+    """A transaction or block failed semantic validation."""
+
+
+class ConsensusError(ReproError):
+    """A consensus protocol detected an unrecoverable inconsistency."""
+
+
+class ExecutionError(ReproError):
+    """A smart contract failed or accessed state illegally."""

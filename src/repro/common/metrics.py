@@ -1,0 +1,148 @@
+"""Metrics collection shared by all systems and benchmarks.
+
+Every blockchain system in this library reports into a
+:class:`MetricsRegistry` (cheap named counters) and returns a
+:class:`RunResult` summarising a workload run. Benchmarks print rows
+derived from ``RunResult`` so that each experiment in EXPERIMENTS.md has
+one canonical shape.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+class MetricsRegistry:
+    """Named monotonically increasing counters.
+
+    A registry is deliberately dumb: it never interprets names. Systems
+    use dotted names such as ``"consensus.messages"`` or
+    ``"xov.aborts.mvcc"`` so benchmarks can aggregate by prefix.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = defaultdict(float)
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        self._counters[name] += amount
+
+    def get(self, name: str) -> float:
+        """Current value of counter ``name`` (zero if never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    def by_prefix(self, prefix: str) -> dict[str, float]:
+        """All counters whose name starts with ``prefix``."""
+        return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
+
+    def total(self, prefix: str) -> float:
+        """Sum of all counters under ``prefix``."""
+        return sum(self.by_prefix(prefix).values())
+
+    def snapshot(self) -> dict[str, float]:
+        """Copy of every counter."""
+        return dict(self._counters)
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+
+class LatencyRecorder:
+    """Collects individual latency samples and reports percentiles."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"latency sample must be non-negative, got {value}")
+        self._samples.append(value)
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.record(value)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> list[float]:
+        return list(self._samples)
+
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def percentile(self, pct: float) -> float:
+        """Nearest-rank percentile; ``pct`` in [0, 100]."""
+        if not 0 <= pct <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    def p99(self) -> float:
+        return self.percentile(99)
+
+
+@dataclass
+class RunResult:
+    """Summary of one workload run on one blockchain system.
+
+    Attributes:
+        system: Human-readable system name (e.g. ``"xov"``).
+        committed: Number of transactions committed to the ledger.
+        aborted: Number of transactions aborted (e.g. MVCC conflicts).
+        duration: Simulated wall-clock duration of the run (seconds).
+        messages: Total protocol messages exchanged.
+        bytes_sent: Total protocol bytes exchanged (modelled sizes).
+        latencies: Per-transaction commit latencies (simulated seconds).
+        extra: System-specific counters worth reporting.
+    """
+
+    system: str
+    committed: int = 0
+    aborted: int = 0
+    duration: float = 0.0
+    messages: int = 0
+    bytes_sent: int = 0
+    latencies: LatencyRecorder = field(default_factory=LatencyRecorder)
+    extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def submitted(self) -> int:
+        return self.committed + self.aborted
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per simulated second (goodput)."""
+        if self.duration <= 0:
+            return 0.0
+        return self.committed / self.duration
+
+    @property
+    def abort_rate(self) -> float:
+        if self.submitted == 0:
+            return 0.0
+        return self.aborted / self.submitted
+
+    def to_row(self) -> dict[str, float | str]:
+        """Flat row for benchmark tables."""
+        return {
+            "system": self.system,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "abort_rate": round(self.abort_rate, 4),
+            "throughput_tps": round(self.throughput, 2),
+            "mean_latency": round(self.latencies.mean(), 5),
+            "p99_latency": round(self.latencies.p99(), 5),
+            "messages": self.messages,
+        }

@@ -1,0 +1,146 @@
+"""Domain types shared by every subsystem.
+
+The central type is :class:`Transaction`. A transaction names a smart
+contract function and its arguments; its effects on state are produced by
+the execution layer (``repro.execution``). Transactions optionally carry
+*declared* operations — the keys they intend to touch — which the
+order-parallel-execute architecture (ParBlockchain, paper section 2.3.3)
+uses to build dependency graphs before execution.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import itertools
+from dataclasses import dataclass, field
+
+_TX_COUNTER = itertools.count()
+
+
+class TxType(enum.Enum):
+    """Visibility/scope class of a transaction (paper sections 2.3.1, 2.3.4)."""
+
+    PUBLIC = "public"
+    INTERNAL = "internal"
+    CROSS_ENTERPRISE = "cross_enterprise"
+    INTRA_SHARD = "intra_shard"
+    CROSS_SHARD = "cross_shard"
+    PRIVATE = "private"
+
+
+class TxStatus(enum.Enum):
+    """Lifecycle state of a transaction as seen by a blockchain system."""
+
+    PENDING = "pending"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+    REEXECUTED = "reexecuted"
+
+
+class OpType(enum.Enum):
+    """Kind of access a declared operation performs on a key."""
+
+    READ = "read"
+    WRITE = "write"
+    READ_WRITE = "read_write"
+
+    @property
+    def reads(self) -> bool:
+        return self in (OpType.READ, OpType.READ_WRITE)
+
+    @property
+    def writes(self) -> bool:
+        return self in (OpType.WRITE, OpType.READ_WRITE)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A declared access to a single state key."""
+
+    op_type: OpType
+    key: str
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """An immutable client transaction.
+
+    Attributes:
+        tx_id: Globally unique identifier (derived hash by default).
+        contract: Name of the contract function to invoke.
+        args: Positional arguments for the contract function.
+        submitter: Identifier of the submitting client or enterprise.
+        tx_type: Visibility/scope class.
+        declared_ops: Keys the transaction intends to access, if known
+            up front. Used by OXII dependency graphs and by lock-based
+            cross-shard protocols (AHL's 2PL).
+        involved: Enterprises, channels, or shards the transaction spans.
+            Empty for single-scope transactions.
+        submitted_at: Simulated time of submission (seconds).
+    """
+
+    tx_id: str
+    contract: str
+    args: tuple = ()
+    submitter: str = "client"
+    tx_type: TxType = TxType.PUBLIC
+    declared_ops: tuple[Operation, ...] = ()
+    involved: frozenset[str] = field(default_factory=frozenset)
+    submitted_at: float = 0.0
+
+    @staticmethod
+    def create(
+        contract: str,
+        args: tuple = (),
+        submitter: str = "client",
+        tx_type: TxType = TxType.PUBLIC,
+        declared_ops: tuple[Operation, ...] = (),
+        involved: frozenset[str] | set[str] = frozenset(),
+        submitted_at: float = 0.0,
+    ) -> "Transaction":
+        """Build a transaction with a derived, collision-free identifier."""
+        seq = next(_TX_COUNTER)
+        material = f"{contract}|{args!r}|{submitter}|{seq}".encode()
+        tx_id = hashlib.sha256(material).hexdigest()[:16]
+        return Transaction(
+            tx_id=tx_id,
+            contract=contract,
+            args=tuple(args),
+            submitter=submitter,
+            tx_type=tx_type,
+            declared_ops=tuple(declared_ops),
+            involved=frozenset(involved),
+            submitted_at=submitted_at,
+        )
+
+    @property
+    def read_keys(self) -> frozenset[str]:
+        """Keys this transaction declared it will read."""
+        return frozenset(op.key for op in self.declared_ops if op.op_type.reads)
+
+    @property
+    def write_keys(self) -> frozenset[str]:
+        """Keys this transaction declared it will write."""
+        return frozenset(op.key for op in self.declared_ops if op.op_type.writes)
+
+    def conflicts_with(self, other: "Transaction") -> bool:
+        """Two transactions conflict when one writes a key the other touches."""
+        mine = self.read_keys | self.write_keys
+        theirs = other.read_keys | other.write_keys
+        return bool(self.write_keys & theirs) or bool(other.write_keys & mine)
+
+    def digest(self) -> str:
+        """Stable content digest used inside block Merkle trees."""
+        material = f"{self.tx_id}|{self.contract}|{self.args!r}|{self.submitter}"
+        return hashlib.sha256(material.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class Endorsement:
+    """An endorser's signed vote for a simulated execution result (XOV)."""
+
+    endorser: str
+    tx_id: str
+    rwset_digest: str
+    signature: bytes

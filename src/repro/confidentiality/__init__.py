@@ -1,0 +1,45 @@
+"""Confidentiality techniques (paper section 2.3.1).
+
+Three systems, two technique families:
+
+* **View-based**: :class:`~repro.confidentiality.caper.CaperSystem`
+  (per-enterprise views of a DAG ledger) and
+  :class:`~repro.confidentiality.channels.MultiChannelFabric`
+  (disjoint channels over a shared ordering service).
+* **Cryptographic**:
+  :class:`~repro.confidentiality.collections.PrivateDataChannel`
+  (Fabric private data collections — values in side databases,
+  salted hashes on the shared ledger).
+"""
+
+from repro.confidentiality.caper import CaperConfig, CaperSystem, key_owner
+from repro.confidentiality.channels import (
+    Channel,
+    ChannelConfig,
+    MultiChannelFabric,
+)
+from repro.confidentiality.collections import (
+    PrivateCollection,
+    PrivateDataChannel,
+)
+from repro.confidentiality.crosschain import (
+    AssetChain,
+    AtomicSwap,
+    InterledgerConnector,
+    make_secret,
+)
+
+__all__ = [
+    "AssetChain",
+    "AtomicSwap",
+    "CaperConfig",
+    "CaperSystem",
+    "Channel",
+    "ChannelConfig",
+    "MultiChannelFabric",
+    "PrivateCollection",
+    "InterledgerConnector",
+    "PrivateDataChannel",
+    "key_owner",
+    "make_secret",
+]

@@ -1,0 +1,308 @@
+"""Atomic cross-chain transactions and Interledger payments.
+
+Paper section 2.3.1: "each enterprise can maintain its own independent
+disjoint blockchain and use techniques such as atomic cross-chain
+transactions [Herlihy, PODC'18] or Interledger protocol to support
+cross-enterprise collaboration. Such techniques are often costly,
+complex, and mainly designed for permissionless blockchains."
+
+Implemented here so the claim can be measured rather than asserted:
+
+* :class:`AssetChain` — an independent blockchain with native asset
+  balances and **hash time-locked contracts** (HTLCs): funds locked
+  under a hashlock can be claimed with the preimage before the timeout
+  or refunded to the sender afterwards.
+* :class:`AtomicSwap` — Herlihy's two-party swap: Alice locks on chain A
+  with hashlock H(s) and timeout 2Δ, Bob locks on chain B with the same
+  hashlock and timeout Δ; Alice's claim on B reveals s, which lets Bob
+  claim on A. Either both transfers happen or both refund.
+* :class:`InterledgerConnector` — a connector with liquidity on both
+  chains forwards a payment between parties that hold accounts on
+  different ledgers, using chained HTLCs with staggered timeouts.
+
+Every ledger mutation is an on-chain transaction appended to that
+chain's blockchain, so the "costly, complex" part is visible: a swap
+takes four on-chain transactions and two round trips of waiting.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.common.errors import ValidationError
+from repro.common.types import Transaction
+from repro.crypto.digests import sha256_hex
+from repro.ledger.chain import Blockchain
+from repro.sim.core import Simulation
+
+
+def make_secret() -> tuple[str, str]:
+    """A random preimage and its hashlock."""
+    preimage = secrets.token_hex(16)
+    return preimage, sha256_hex(preimage)
+
+
+@dataclass
+class Htlc:
+    """One hash time-locked contract on a chain."""
+
+    contract_id: str
+    sender: str
+    receiver: str
+    amount: int
+    hashlock: str
+    timeout_at: float
+    state: str = "locked"  # locked | claimed | refunded
+
+
+class AssetChain:
+    """An independent enterprise blockchain with HTLC support.
+
+    The chain shares a :class:`Simulation` clock with its peers so that
+    timeouts are meaningful, but it is otherwise fully disjoint: no
+    other chain can read or write its state — which is precisely why
+    cross-chain protocols need hashlocks instead of shared consensus.
+    """
+
+    def __init__(self, name: str, sim: Simulation) -> None:
+        self.name = name
+        self.sim = sim
+        self.ledger = Blockchain()
+        self.balances: dict[str, int] = {}
+        self.htlcs: dict[str, Htlc] = {}
+
+    def _record(self, contract: str, args: tuple) -> Transaction:
+        tx = Transaction.create(contract, args, submitter=self.name)
+        self.ledger.append(
+            self.ledger.next_block([tx], timestamp=self.sim.now)
+        )
+        return tx
+
+    def deposit(self, account: str, amount: int) -> None:
+        if amount <= 0:
+            raise ValidationError("deposit must be positive")
+        self.balances[account] = self.balances.get(account, 0) + amount
+        self._record("deposit", (account, amount))
+
+    def balance(self, account: str) -> int:
+        return self.balances.get(account, 0)
+
+    # -- HTLC lifecycle -----------------------------------------------------
+
+    def lock(
+        self, sender: str, receiver: str, amount: int, hashlock: str,
+        timeout_at: float,
+    ) -> str:
+        """Escrow ``amount`` from ``sender`` under ``hashlock``."""
+        if self.balances.get(sender, 0) < amount:
+            raise ValidationError(
+                f"{sender} cannot lock {amount} on {self.name}"
+            )
+        if timeout_at <= self.sim.now:
+            raise ValidationError("timeout must lie in the future")
+        self.balances[sender] -= amount
+        contract_id = secrets.token_hex(8)
+        self.htlcs[contract_id] = Htlc(
+            contract_id=contract_id,
+            sender=sender,
+            receiver=receiver,
+            amount=amount,
+            hashlock=hashlock,
+            timeout_at=timeout_at,
+        )
+        self._record("htlc_lock", (contract_id, sender, receiver, amount,
+                                   hashlock, timeout_at))
+        return contract_id
+
+    def claim(self, contract_id: str, preimage: str) -> None:
+        """Receiver claims the escrow by revealing the preimage.
+
+        The preimage becomes public on this chain's ledger — the
+        mechanism the counterparty uses to claim on the other chain.
+        """
+        htlc = self._open_htlc(contract_id)
+        if sha256_hex(preimage) != htlc.hashlock:
+            raise ValidationError("wrong preimage")
+        if self.sim.now >= htlc.timeout_at:
+            raise ValidationError("contract expired; only refund is possible")
+        htlc.state = "claimed"
+        self.balances[htlc.receiver] = (
+            self.balances.get(htlc.receiver, 0) + htlc.amount
+        )
+        self._record("htlc_claim", (contract_id, preimage))
+
+    def refund(self, contract_id: str) -> None:
+        """Sender reclaims the escrow after the timeout."""
+        htlc = self._open_htlc(contract_id)
+        if self.sim.now < htlc.timeout_at:
+            raise ValidationError("contract not yet expired")
+        htlc.state = "refunded"
+        self.balances[htlc.sender] = (
+            self.balances.get(htlc.sender, 0) + htlc.amount
+        )
+        self._record("htlc_refund", (contract_id,))
+
+    def revealed_preimage(self, hashlock: str) -> str | None:
+        """Scan the ledger for a claim that revealed ``hashlock``'s
+        preimage (how the counterparty learns the secret)."""
+        for tx in self.ledger.all_transactions():
+            if tx.contract == "htlc_claim":
+                contract_id, preimage = tx.args
+                if sha256_hex(preimage) == hashlock:
+                    return preimage
+        return None
+
+    def _open_htlc(self, contract_id: str) -> Htlc:
+        htlc = self.htlcs.get(contract_id)
+        if htlc is None:
+            raise ValidationError(f"unknown HTLC: {contract_id}")
+        if htlc.state != "locked":
+            raise ValidationError(f"HTLC already {htlc.state}")
+        return htlc
+
+
+@dataclass
+class SwapOutcome:
+    """Result of an atomic swap attempt."""
+
+    completed: bool
+    alice_claimed: bool
+    bob_claimed: bool
+    refunds: int
+    on_chain_txs: int
+
+
+class AtomicSwap:
+    """Herlihy's two-party cross-chain swap.
+
+    Alice gives ``amount_a`` on ``chain_a`` for Bob's ``amount_b`` on
+    ``chain_b``. Alice is the secret holder; Bob's timeout (Δ) is half
+    of Alice's (2Δ) so a cooperative Alice always has time to claim
+    before Bob can refund, and a revealed secret always leaves Bob time
+    to claim.
+    """
+
+    def __init__(
+        self,
+        chain_a: AssetChain,
+        chain_b: AssetChain,
+        alice: str,
+        bob: str,
+        amount_a: int,
+        amount_b: int,
+        delta: float = 10.0,
+    ) -> None:
+        self.chain_a = chain_a
+        self.chain_b = chain_b
+        self.alice = alice
+        self.bob = bob
+        self.amount_a = amount_a
+        self.amount_b = amount_b
+        self.delta = delta
+        self.preimage, self.hashlock = make_secret()
+
+    def execute(
+        self, bob_cooperates: bool = True, alice_cooperates: bool = True
+    ) -> SwapOutcome:
+        """Run the swap protocol; uncooperative parties simply stop
+        participating, and the timeouts unwind the escrows."""
+        sim = self.chain_a.sim
+        start_txs = len(self.chain_a.ledger) + len(self.chain_b.ledger)
+        # Step 1: Alice escrows on chain A with timeout 2Δ.
+        lock_a = self.chain_a.lock(
+            self.alice, self.bob, self.amount_a, self.hashlock,
+            timeout_at=sim.now + 2 * self.delta,
+        )
+        alice_claimed = bob_claimed = False
+        refunds = 0
+        if bob_cooperates:
+            # Step 2: Bob escrows on chain B with timeout Δ.
+            lock_b = self.chain_b.lock(
+                self.bob, self.alice, self.amount_b, self.hashlock,
+                timeout_at=sim.now + self.delta,
+            )
+            if alice_cooperates:
+                # Step 3: Alice claims on B, revealing the secret.
+                self.chain_b.claim(lock_b, self.preimage)
+                alice_claimed = True
+                # Step 4: Bob reads the revealed secret and claims on A.
+                revealed = self.chain_b.revealed_preimage(self.hashlock)
+                assert revealed is not None
+                self.chain_a.claim(lock_a, revealed)
+                bob_claimed = True
+            else:
+                # Alice vanished: after Δ Bob refunds, after 2Δ Alice's
+                # escrow (claimable by no one without the secret) unwinds.
+                sim.schedule(self.delta, lambda: self.chain_b.refund(lock_b))
+                sim.schedule(
+                    2 * self.delta, lambda: self.chain_a.refund(lock_a)
+                )
+                sim.run(until=sim.now + 2 * self.delta + 1)
+                refunds = 2
+        else:
+            # Bob never locked: Alice refunds after her timeout.
+            sim.schedule(2 * self.delta, lambda: self.chain_a.refund(lock_a))
+            sim.run(until=sim.now + 2 * self.delta + 1)
+            refunds = 1
+        completed = alice_claimed and bob_claimed
+        on_chain = (
+            len(self.chain_a.ledger) + len(self.chain_b.ledger) - start_txs
+        )
+        return SwapOutcome(
+            completed=completed,
+            alice_claimed=alice_claimed,
+            bob_claimed=bob_claimed,
+            refunds=refunds,
+            on_chain_txs=on_chain,
+        )
+
+
+class InterledgerConnector:
+    """A liquidity provider bridging two chains (Interledger-style).
+
+    The sender holds an account only on ``chain_a``; the receiver only
+    on ``chain_b``. The connector escrows on chain B against the same
+    hashlock it is paid under on chain A, with a *shorter* timeout on
+    its outgoing leg, so it can always reimburse itself once the
+    receiver claims.
+    """
+
+    def __init__(
+        self, name: str, chain_a: AssetChain, chain_b: AssetChain,
+        fee: int = 1,
+    ) -> None:
+        self.name = name
+        self.chain_a = chain_a
+        self.chain_b = chain_b
+        self.fee = fee
+
+    def transfer(
+        self, sender: str, receiver: str, amount: int, delta: float = 10.0
+    ) -> bool:
+        """Move ``amount`` from ``sender``@A to ``receiver``@B."""
+        if amount <= self.fee:
+            raise ValidationError("amount must exceed the connector fee")
+        sim = self.chain_a.sim
+        preimage, hashlock = make_secret()  # held by the receiver's side
+        # Leg 1: sender -> connector on chain A, long timeout.
+        lock_a = self.chain_a.lock(
+            sender, self.name, amount, hashlock, timeout_at=sim.now + 2 * delta
+        )
+        # Leg 2: connector -> receiver on chain B, short timeout.
+        try:
+            lock_b = self.chain_b.lock(
+                self.name, receiver, amount - self.fee, hashlock,
+                timeout_at=sim.now + delta,
+            )
+        except ValidationError:
+            # Connector lacks liquidity: unwind leg 1 after its timeout.
+            sim.schedule(2 * delta, lambda: self.chain_a.refund(lock_a))
+            sim.run(until=sim.now + 2 * delta + 1)
+            return False
+        # Receiver claims with the preimage; connector reimburses itself.
+        self.chain_b.claim(lock_b, preimage)
+        revealed = self.chain_b.revealed_preimage(hashlock)
+        assert revealed is not None
+        self.chain_a.claim(lock_a, revealed)
+        return True

@@ -1,0 +1,72 @@
+"""Consensus protocols for permissioned blockchains (paper section 2.2).
+
+Six protocols spanning the design space the tutorial covers:
+
+==============  =========  ==================  ===========================
+Protocol        Faults     Quorum              Used by (per the paper)
+==============  =========  ==================  ===========================
+PBFT            Byzantine  2f+1 of 3f+1        classic BFT ordering
+Paxos           crash      majority of 2f+1    classic CFT ordering
+Raft            crash      majority of 2f+1    Fabric ordering, Quorum CFT
+HotStuff        Byzantine  n-f of 3f+1         modern linear BFT
+Tendermint      Byzantine  >2/3 voting power   PoS-weighted PBFT variant
+Istanbul BFT    Byzantine  2f+1 of 3f+1        Quorum BFT
+==============  =========  ==================  ===========================
+
+All protocols share :class:`~repro.consensus.base.ConsensusReplica`
+(an in-order decided log) and are exercised through
+:class:`~repro.consensus.base.ConsensusCluster`.
+"""
+
+from repro.consensus.attacks import (
+    DelayingPbftReplica,
+    SilentPbftLeader,
+    WithholdingPbftReplica,
+    attacker_factory,
+)
+from repro.consensus.base import ClusterConfig, ConsensusCluster, ConsensusReplica
+from repro.consensus.hotstuff import HotStuffReplica
+from repro.consensus.hybrid import (
+    hybrid_cluster_size,
+    hybrid_quorum,
+    make_hybrid_cluster,
+    pure_byzantine_size,
+)
+from repro.consensus.ibft import IbftReplica
+from repro.consensus.paxos import PaxosReplica
+from repro.consensus.pbft import EquivocatingPbftReplica, PbftReplica
+from repro.consensus.raft import RaftReplica
+from repro.consensus.tendermint import TendermintReplica, proposer_schedule
+
+#: Registry used by benchmarks: name -> (replica class, byzantine?).
+PROTOCOLS = {
+    "pbft": (PbftReplica, True),
+    "paxos": (PaxosReplica, False),
+    "raft": (RaftReplica, False),
+    "hotstuff": (HotStuffReplica, True),
+    "tendermint": (TendermintReplica, True),
+    "ibft": (IbftReplica, True),
+}
+
+__all__ = [
+    "PROTOCOLS",
+    "ClusterConfig",
+    "ConsensusCluster",
+    "ConsensusReplica",
+    "DelayingPbftReplica",
+    "EquivocatingPbftReplica",
+    "HotStuffReplica",
+    "IbftReplica",
+    "PaxosReplica",
+    "PbftReplica",
+    "RaftReplica",
+    "SilentPbftLeader",
+    "TendermintReplica",
+    "WithholdingPbftReplica",
+    "attacker_factory",
+    "hybrid_cluster_size",
+    "hybrid_quorum",
+    "make_hybrid_cluster",
+    "proposer_schedule",
+    "pure_byzantine_size",
+]

@@ -1,0 +1,118 @@
+"""Byzantine behaviour adapters for safety experiments.
+
+The paper's threat model (section 2.2): a Byzantine node "may act
+arbitrarily". These replica variants implement the classic arbitrary
+behaviours; the accompanying tests assert that with at most ``f``
+attackers, correct replicas never diverge and — where the protocol
+promises it — keep making progress.
+
+* :class:`SilentPbftLeader` — accepts requests but never proposes
+  (a censoring leader; view change must remove it).
+* :class:`WithholdingPbftReplica` — receives everything, sends nothing
+  (a fail-silent participant that still counts against quorums).
+* :class:`DelayingPbftReplica` — delays every outgoing protocol message
+  by a fixed amount (a slow-but-correct participant; consensus must not
+  depend on its timeliness).
+* ``EquivocatingPbftReplica`` (in ``repro.consensus.pbft``) — proposes
+  different values to different halves of the cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.consensus.pbft import PbftReplica
+from repro.consensus.tendermint import TendermintReplica, TmPrecommit, TmPrevote
+
+
+class SilentPbftLeader(PbftReplica):
+    """Accepts client requests and then censors them while leader."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.byzantine = True
+
+    def _propose(self, value: Any) -> None:
+        if self.is_leader:
+            return  # censor: swallow the request silently
+        super()._propose(value)
+
+
+class WithholdingPbftReplica(PbftReplica):
+    """Processes incoming traffic but never sends a protocol message."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.byzantine = True
+
+    def send(self, dst: str, message: object) -> None:
+        return  # withhold everything
+
+    def broadcast(self, message: object, targets=None) -> None:
+        return
+
+
+class DelayingPbftReplica(PbftReplica):
+    """Correct but slow: delays all outgoing messages by ``DELAY``."""
+
+    DELAY = 0.2
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.byzantine = True  # excluded from agreement checks anyway
+
+    def send(self, dst: str, message: object) -> None:
+        if self.crashed:
+            return
+        self.sim.schedule(self.DELAY, lambda: super(
+            DelayingPbftReplica, self
+        ).send(dst, message))
+
+    def broadcast(self, message: object, targets=None) -> None:
+        if self.crashed:
+            return
+        resolved = list(targets) if targets is not None else None
+        self.sim.schedule(self.DELAY, lambda: super(
+            DelayingPbftReplica, self
+        ).broadcast(message, resolved))
+
+
+def attacker_factory(attack_cls, byzantine_ids: set[str]):
+    """A ConsensusCluster factory planting ``attack_cls`` at some ids."""
+
+    def factory(node_id, sim, network, config, on_decide):
+        cls = attack_cls if node_id in byzantine_ids else PbftReplica
+        return cls(
+            node_id=node_id, sim=sim, network=network, config=config,
+            on_decide=on_decide,
+        )
+
+    return factory
+
+
+class EquivocatingTendermintValidator(TendermintReplica):
+    """Votes one way to half the validators and nil to the rest.
+
+    The classic double-signing attack on vote-based PoS protocols. With
+    at most 1/3 of the voting power equivocating, the 2/3 intersection
+    argument guarantees correct validators never decide differently.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.byzantine = True
+
+    def broadcast(self, message: object, targets=None) -> None:
+        if isinstance(message, (TmPrevote, TmPrecommit)):
+            peers = list(targets) if targets is not None else list(self.peers)
+            half = len(peers) // 2
+            nil_vote = type(message)(
+                height=message.height, round=message.round, digest=None,
+                sender=self.node_id,
+            )
+            for peer in peers[:half]:
+                self.send(peer, message)
+            for peer in peers[half:]:
+                self.send(peer, nil_vote)
+            return
+        super().broadcast(message, targets)

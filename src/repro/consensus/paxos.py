@@ -1,0 +1,253 @@
+"""Multi-Paxos (Lamport, "Paxos Made Simple") — crash fault tolerance.
+
+The classic crash fault-tolerant protocol the paper cites for
+permissioned ordering (section 2.2). A proposer acquires leadership for
+all slots with one phase-1 round (Prepare/Promise over a ballot), learns
+any values already accepted, re-proposes them, and then streams phase-2
+Accept messages for new values. A value is chosen when a majority of
+acceptors accept it under the same ballot.
+
+Ballots are ``(attempt, replica_index)`` pairs, so competing proposers
+always have comparable, unique ballots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.consensus.base import ClusterConfig, ConsensusReplica
+from repro.crypto.digests import sha256_hex
+
+
+def _digest(value: Any) -> str:
+    return sha256_hex(repr(value))
+
+
+Ballot = tuple[int, int]  # (attempt, replica_index); totally ordered
+
+ZERO_BALLOT: Ballot = (-1, -1)
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    value: Any
+    size_bytes: int = 512
+
+
+@dataclass(frozen=True)
+class Prepare:  # phase 1a
+    ballot: Ballot
+    sender: str
+    size_bytes: int = 128
+
+
+@dataclass(frozen=True)
+class Promise:  # phase 1b
+    ballot: Ballot
+    #: slot -> (accepted_ballot, accepted_value)
+    accepted: tuple[tuple[int, Ballot, Any], ...]
+    sender: str
+    size_bytes: int = 512
+
+
+@dataclass(frozen=True)
+class Accept:  # phase 2a
+    ballot: Ballot
+    slot: int
+    value: Any
+    sender: str
+    size_bytes: int = 640
+
+
+@dataclass(frozen=True)
+class Accepted:  # phase 2b
+    ballot: Ballot
+    slot: int
+    sender: str
+    size_bytes: int = 128
+
+
+@dataclass(frozen=True)
+class Decide:
+    slot: int
+    value: Any
+    size_bytes: int = 640
+
+
+class PaxosReplica(ConsensusReplica):
+    """A combined proposer/acceptor/learner replica."""
+
+    def __init__(self, node_id, sim, network, config: ClusterConfig, on_decide=None):
+        super().__init__(node_id, sim, network, config, on_decide)
+        self._index = config.replica_ids.index(node_id)
+        # Acceptor state.
+        self._promised: Ballot = ZERO_BALLOT
+        self._accepted: dict[int, tuple[Ballot, Any]] = {}
+        # Proposer state.
+        self._is_leader = False
+        self._ballot: Ballot = ZERO_BALLOT
+        self._promises: dict[str, Promise] = {}
+        self._next_slot = 0
+        self._accept_votes: dict[int, set[str]] = {}
+        self._proposals: dict[int, Any] = {}
+        self._proposed_digests: set[str] = set()
+        # Shared.
+        self._requests: dict[str, Any] = {}
+        self._progress_timer = None
+        self._attempt = 0
+        # Replica 0 tries to lead immediately; others only on timeout.
+        if self._index == 0:
+            self.set_timer(0.0, self._try_lead)
+
+    # -- client path ---------------------------------------------------------
+
+    def submit(self, value: Any) -> None:
+        self._requests[_digest(value)] = value
+        self.broadcast(ClientRequest(value=value), targets=self.peers)
+        if self._is_leader:
+            self._propose(value)
+        self._arm_progress_timer()
+
+    def _arm_progress_timer(self) -> None:
+        if self._progress_timer is not None:
+            self._progress_timer.cancel()
+        if not self._requests:
+            self._progress_timer = None
+            return
+        # Stagger timeouts by replica index so a single replica takes
+        # over cleanly instead of duelling proposers livelocking.
+        delay = self.config.base_timeout * (1.0 + 0.5 * self._index)
+        self._progress_timer = self.set_timer(delay, self._on_progress_timeout)
+
+    def _on_progress_timeout(self) -> None:
+        if not self._requests:
+            return
+        for value in self._requests.values():
+            self.broadcast(ClientRequest(value=value), targets=self.peers)
+        self._try_lead()
+        self._arm_progress_timer()
+
+    # -- leadership (phase 1) ---------------------------------------------------
+
+    def _try_lead(self) -> None:
+        self._attempt += 1
+        self._ballot = (self._attempt, self._index)
+        self._promises = {}
+        prepare = Prepare(ballot=self._ballot, sender=self.node_id)
+        self.broadcast(prepare, targets=self.peers)
+        self._on_prepare(prepare)  # promise to ourselves
+
+    def _on_prepare(self, message: Prepare) -> None:
+        if message.ballot <= self._promised:
+            return  # stale ballot: ignore (sender will time out)
+        self._promised = message.ballot
+        self._is_leader = self._is_leader and message.sender == self.node_id
+        accepted = tuple(
+            (slot, ballot, value)
+            for slot, (ballot, value) in sorted(self._accepted.items())
+        )
+        promise = Promise(
+            ballot=message.ballot, accepted=accepted, sender=self.node_id
+        )
+        if message.sender == self.node_id:
+            self._on_promise(promise)
+        else:
+            self.send(message.sender, promise)
+
+    def _on_promise(self, message: Promise) -> None:
+        if message.ballot != self._ballot or self._is_leader:
+            return
+        self._promises[message.sender] = message
+        if len(self._promises) < self.config.quorum:
+            return
+        self._is_leader = True
+        # Re-propose the highest-ballot accepted value for every slot any
+        # promiser reported — mandatory for safety across leader changes.
+        best: dict[int, tuple[Ballot, Any]] = {}
+        for promise in self._promises.values():
+            for slot, ballot, value in promise.accepted:
+                if slot not in best or ballot > best[slot][0]:
+                    best[slot] = (ballot, value)
+        for slot, (_, value) in sorted(best.items()):
+            self._send_accepts(slot, value)
+            self._next_slot = max(self._next_slot, slot + 1)
+        for value in list(self._requests.values()):
+            self._propose(value)
+
+    # -- phase 2 ------------------------------------------------------------------
+
+    def _propose(self, value: Any) -> None:
+        digest = _digest(value)
+        if digest in self._proposed_digests:
+            return
+        self._proposed_digests.add(digest)
+        slot = self._next_slot
+        self._next_slot += 1
+        self._send_accepts(slot, value)
+
+    def _send_accepts(self, slot: int, value: Any) -> None:
+        self._proposals[slot] = value
+        self._accept_votes.setdefault(slot, set())
+        accept = Accept(
+            ballot=self._ballot, slot=slot, value=value, sender=self.node_id
+        )
+        self.broadcast(accept, targets=self.peers)
+        self._on_accept(accept)
+
+    def _on_accept(self, message: Accept) -> None:
+        if message.ballot < self._promised:
+            return
+        self._promised = message.ballot
+        self._accepted[message.slot] = (message.ballot, message.value)
+        reply = Accepted(
+            ballot=message.ballot, slot=message.slot, sender=self.node_id
+        )
+        if message.sender == self.node_id:
+            self._on_accepted(reply)
+        else:
+            self.send(message.sender, reply)
+
+    def _on_accepted(self, message: Accepted) -> None:
+        if message.ballot != self._ballot or not self._is_leader:
+            return
+        votes = self._accept_votes.setdefault(message.slot, set())
+        votes.add(message.sender)
+        if len(votes) >= self.config.quorum and not self.has_decided(message.slot):
+            value = self._proposals[message.slot]
+            self.broadcast(Decide(slot=message.slot, value=value),
+                           targets=self.peers)
+            self._learn(message.slot, value)
+
+    def _handle_decide(self, message: Decide) -> None:
+        self._learn(message.slot, message.value)
+
+    def _learn(self, slot: int, value: Any) -> None:
+        if not self.has_decided(slot):
+            self._decide(slot, value)
+        self._requests.pop(_digest(value), None)
+        self._arm_progress_timer()
+
+    # -- dispatch --------------------------------------------------------------------
+
+    def on_message(self, src: str, message: object) -> None:
+        if isinstance(message, ClientRequest):
+            digest = _digest(message.value)
+            already = any(
+                _digest(v) == digest for v in self._decided_at.values()
+            )
+            if not already:
+                self._requests.setdefault(digest, message.value)
+                if self._is_leader:
+                    self._propose(message.value)
+                self._arm_progress_timer()
+        elif isinstance(message, Prepare):
+            self._on_prepare(message)
+        elif isinstance(message, Promise):
+            self._on_promise(message)
+        elif isinstance(message, Accept):
+            self._on_accept(message)
+        elif isinstance(message, Accepted):
+            self._on_accepted(message)
+        elif isinstance(message, Decide):
+            self._handle_decide(message)

@@ -1,0 +1,39 @@
+"""Transaction-processing architectures (paper section 2.3.3).
+
+Seven systems behind one API (:class:`~repro.core.base.BlockchainSystem`):
+the pessimistic OX and OXII architectures, optimistic XOV, and the four
+published XOV refinements. ``SYSTEMS`` is the registry benchmarks sweep.
+"""
+
+from repro.core.base import BlockchainSystem, SystemConfig
+from repro.core.fabricpp import FabricPPSystem
+from repro.core.fabricsharp import FabricSharpSystem
+from repro.core.fastfabric import FastFabricSystem
+from repro.core.ox import OxSystem
+from repro.core.oxii import OxiiSystem
+from repro.core.xov import XovSystem
+from repro.core.xox import XoxSystem
+
+#: name -> system class, in the order the paper introduces them.
+SYSTEMS = {
+    "ox": OxSystem,
+    "oxii": OxiiSystem,
+    "xov": XovSystem,
+    "fastfabric": FastFabricSystem,
+    "fabricpp": FabricPPSystem,
+    "fabricsharp": FabricSharpSystem,
+    "xox": XoxSystem,
+}
+
+__all__ = [
+    "SYSTEMS",
+    "BlockchainSystem",
+    "FabricPPSystem",
+    "FabricSharpSystem",
+    "FastFabricSystem",
+    "OxSystem",
+    "OxiiSystem",
+    "SystemConfig",
+    "XovSystem",
+    "XoxSystem",
+]

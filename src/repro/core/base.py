@@ -1,0 +1,275 @@
+"""The unified blockchain-system API shared by every architecture.
+
+Paper section 2.3.3 contrasts three transaction-processing architectures
+— order-execute (OX), order-parallel-execute (OXII), and
+execute-order-validate (XOV) — plus four XOV refinements. Every one of
+them is modelled here as a :class:`BlockchainSystem` with an identical
+surface:
+
+    system = OxSystem(SystemConfig(block_size=100))
+    for tx in workload:
+        system.submit(tx)
+    result = system.run()          # -> RunResult
+
+Internally a system drives a real consensus cluster (message-level PBFT
+/ Raft / ...) on a shared discrete-event simulation, cuts blocks from an
+ordering queue, and charges modelled execution/validation time on
+executor timelines. Committed state lives in a versioned
+:class:`~repro.ledger.store.StateStore`; the ordered blocks in a
+:class:`~repro.ledger.chain.Blockchain`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import ConfigError
+from repro.common.metrics import RunResult
+from repro.common.types import Transaction
+from repro.consensus import PROTOCOLS, ConsensusCluster
+from repro.execution.contracts import ContractRegistry, standard_registry
+from repro.ledger.chain import Blockchain
+from repro.ledger.store import StateStore
+from repro.sim.core import Simulation
+from repro.sim.network import LanLatency
+
+
+@dataclass
+class SystemConfig:
+    """Knobs shared by all architectures.
+
+    Attributes:
+        orderers: Size of the ordering cluster.
+        protocol: Ordering protocol name (see ``repro.consensus.PROTOCOLS``).
+        executors: Parallel execution/validation lanes available to a peer.
+        endorsers: Endorsement-policy size (XOV family only).
+        block_size: Transactions per block.
+        block_interval: Maximum time a partial block waits before cutting.
+        arrival_rate: Client submission rate in tx/s (None = all at t=0).
+        endorsement_latency: Client -> endorser round trip (XOV family).
+        verify_cost: Modelled CPU seconds per signature verification.
+        seed: Simulation seed (runs are deterministic per seed).
+        max_time: Safety horizon; a run never simulates past this.
+    """
+
+    orderers: int = 4
+    protocol: str = "pbft"
+    executors: int = 4
+    endorsers: int = 3
+    block_size: int = 50
+    block_interval: float = 0.1
+    arrival_rate: float | None = 2000.0
+    endorsement_latency: float = 0.002
+    verify_cost: float = 0.0005
+    seed: int = 0
+    max_time: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ConfigError(
+                f"unknown protocol {self.protocol!r}; "
+                f"choose from {sorted(PROTOCOLS)}"
+            )
+        if self.block_size < 1:
+            raise ConfigError("block_size must be >= 1")
+        if self.executors < 1:
+            raise ConfigError("executors must be >= 1")
+
+
+@dataclass
+class _TxRecord:
+    """Book-keeping for one submitted transaction."""
+
+    tx: Transaction
+    submitted_at: float = 0.0
+    resolved: bool = False
+    committed: bool = False
+    commit_time: float = 0.0
+
+
+class BlockchainSystem:
+    """Abstract base: ordering service + architecture-specific pipeline.
+
+    Subclasses implement :meth:`_ingest` (what happens when a client
+    transaction arrives) and :meth:`_on_block_decided` (what happens
+    after the ordering service totally orders a block payload).
+    """
+
+    name = "abstract"
+
+    def __init__(
+        self, config: SystemConfig | None = None,
+        registry: ContractRegistry | None = None,
+    ) -> None:
+        self.config = config or SystemConfig()
+        self.registry = registry or standard_registry()
+        self.sim = Simulation(seed=self.config.seed)
+        protocol_cls, byzantine = PROTOCOLS[self.config.protocol]
+        self.cluster = ConsensusCluster(
+            protocol_cls,
+            n=self.config.orderers,
+            byzantine=byzantine,
+            sim=self.sim,
+            latency=LanLatency(),
+            decide_listener=self._on_decide,
+        )
+        self._reference_orderer = self.cluster.config.replica_ids[0]
+        self.ledger = Blockchain()
+        self.store = StateStore()
+        self._records: dict[str, _TxRecord] = {}
+        self._tx_by_id: dict[str, Transaction] = {}
+        self._submit_order: list[str] = []
+        self._order_queue: list[str] = []  # tx ids awaiting a block
+        self._block_timer = None
+        self._payload_of: dict[tuple[str, ...], list[str]] = {}
+        self._exec_free_at = 0.0
+        self._ran = False
+
+    # -- client API ----------------------------------------------------------
+
+    def submit(self, tx: Transaction) -> None:
+        """Queue ``tx`` for the run (call before :meth:`run`)."""
+        if self._ran:
+            raise ConfigError("submit() after run() is not supported")
+        if tx.tx_id in self._records:
+            raise ConfigError(f"duplicate transaction id: {tx.tx_id}")
+        self._records[tx.tx_id] = _TxRecord(tx=tx)
+        self._tx_by_id[tx.tx_id] = tx
+        self._submit_order.append(tx.tx_id)
+
+    def run(self) -> RunResult:
+        """Simulate the whole run and summarise it."""
+        if self._ran:
+            raise ConfigError("a system instance runs exactly once")
+        self._ran = True
+        self._schedule_arrivals()
+        horizon = self.config.max_time
+        while self.sim.now < horizon:
+            if all(r.resolved for r in self._records.values()):
+                break
+            before = self.sim.now
+            processed = self.sim.run(
+                until=min(horizon, self.sim.now + 0.5), max_events=5_000_000
+            )
+            if processed == 0 and self.sim.now == before:
+                break  # drained
+        return self._build_result()
+
+    # -- arrivals ---------------------------------------------------------------
+
+    def _schedule_arrivals(self) -> None:
+        interval = (
+            1.0 / self.config.arrival_rate if self.config.arrival_rate else 0.0
+        )
+        at = 0.0
+        for tx_id in self._submit_order:
+            record = self._records[tx_id]
+            record.submitted_at = at
+
+            def arrive(r=record) -> None:
+                self._ingest(r)
+
+            self.sim.schedule_at(at, arrive)
+            at += interval
+
+    # -- ordering service ----------------------------------------------------------
+
+    def _enqueue_for_ordering(self, tx_id: str) -> None:
+        self._order_queue.append(tx_id)
+        if len(self._order_queue) >= self.config.block_size:
+            self._cut_block()
+        elif self._block_timer is None:
+            self._block_timer = self.sim.schedule(
+                self.config.block_interval, self._cut_partial_block
+            )
+
+    def _cut_partial_block(self) -> None:
+        self._block_timer = None
+        if self._order_queue:
+            self._cut_block()
+
+    def _cut_block(self) -> None:
+        batch, self._order_queue = (
+            self._order_queue[: self.config.block_size],
+            self._order_queue[self.config.block_size:],
+        )
+        if self._block_timer is not None:
+            self._block_timer.cancel()
+            self._block_timer = None
+        if self._order_queue:
+            self._block_timer = self.sim.schedule(
+                self.config.block_interval, self._cut_partial_block
+            )
+        payload = tuple(batch)
+        self._payload_of[payload] = batch
+        self.cluster.submit(payload, via=self._reference_orderer)
+
+    def _on_decide(self, node_id: str, sequence: int, value: Any) -> None:
+        if node_id != self._reference_orderer:
+            return
+        batch = self._payload_of.get(tuple(value))
+        if batch is None:
+            return
+        self._on_block_decided([self._tx_by_id[tx_id] for tx_id in batch])
+
+    # -- executor timeline --------------------------------------------------------------
+
+    def _claim_executor(self, duration: float) -> float:
+        """Occupy the peer's execution pipeline for ``duration`` simulated
+        seconds; returns the completion time."""
+        start = max(self.sim.now, self._exec_free_at)
+        self._exec_free_at = start + duration
+        return self._exec_free_at
+
+    # -- commit bookkeeping ------------------------------------------------------------
+
+    def _mark_committed(self, tx: Transaction) -> None:
+        record = self._records[tx.tx_id]
+        if record.resolved:
+            return
+        record.resolved = True
+        record.committed = True
+        record.commit_time = self.sim.now
+
+    def _mark_aborted(self, tx: Transaction, reason: str) -> None:
+        record = self._records[tx.tx_id]
+        if record.resolved:
+            return
+        record.resolved = True
+        record.committed = False
+        self.sim.metrics.incr(f"abort.{reason}")
+
+    # -- subclass hooks ---------------------------------------------------------------------
+
+    def _ingest(self, record: _TxRecord) -> None:
+        """A client transaction arrived; route it into the pipeline."""
+        raise NotImplementedError
+
+    def _on_block_decided(self, txs: list[Transaction]) -> None:
+        """The ordering service totally ordered a block of ``txs``."""
+        raise NotImplementedError
+
+    # -- results -------------------------------------------------------------------------------
+
+    def _build_result(self) -> RunResult:
+        result = RunResult(system=self.name)
+        last_commit = 0.0
+        for record in self._records.values():
+            if not record.resolved:
+                self._mark_aborted(record.tx, "unresolved")
+            if record.committed:
+                result.committed += 1
+                result.latencies.record(record.commit_time - record.submitted_at)
+                last_commit = max(last_commit, record.commit_time)
+            else:
+                result.aborted += 1
+        result.duration = last_commit if last_commit > 0 else self.sim.now
+        result.messages = int(self.sim.metrics.get("net.messages"))
+        result.bytes_sent = int(self.sim.metrics.get("net.bytes"))
+        result.extra = {
+            key: value
+            for key, value in self.sim.metrics.snapshot().items()
+            if key.startswith(("abort.", "exec.", "order."))
+        }
+        return result

@@ -1,0 +1,23 @@
+"""Fabric++ (Sharma et al., SIGMOD 2019).
+
+"Employs concurrency control techniques from databases to early abort
+transactions or reorder them after the order phase to reconcile the
+potential conflicts" (paper section 2.3.3).
+
+Modelled as XOV plus the greedy conflict-graph reordering of
+``repro.execution.reorder.reorder_fabricpp``: within each decided block,
+transactions are re-serialised so that readers precede the writers that
+would invalidate them; transactions trapped in dependency cycles are
+aborted using Fabric++'s max-degree heuristic.
+"""
+
+from __future__ import annotations
+
+from repro.core.xov import XovSystem
+
+
+class FabricPPSystem(XovSystem):
+    """Fabric++: XOV with greedy block reordering."""
+
+    name = "fabricpp"
+    reorder = "fabricpp"

@@ -1,0 +1,23 @@
+"""FabricSharp (Ruan et al., SIGMOD 2020).
+
+"Presents an algorithm to early filter out transactions that can never
+be reordered and also presents a reordering technique that eliminates
+unnecessary aborts" (paper section 2.3.3).
+
+Modelled as XOV plus ``reorder_fabricsharp``: transactions whose reads
+are already stale against committed state are dropped before analysis
+(they cannot be saved by any intra-block order), and cycle-breaking uses
+an exact minimum feedback vertex set for small components — never
+aborting more than Fabric++'s greedy heuristic on the same block.
+"""
+
+from __future__ import annotations
+
+from repro.core.xov import XovSystem
+
+
+class FabricSharpSystem(XovSystem):
+    """FabricSharp: XOV with minimal-abort block reordering."""
+
+    name = "fabricsharp"
+    reorder = "fabricsharp"

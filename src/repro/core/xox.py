@@ -1,0 +1,23 @@
+"""XOX Fabric (Gorenflo et al., ICBC 2020).
+
+"A pre-order and a post-order execution step where the post-order
+execution is added after the validation step to re-execute transactions
+that are invalidated due to read-write conflicts" (paper section 2.3.3).
+
+Modelled as XOV plus the post-order step of
+``repro.execution.reexec``: MVCC-invalidated transactions are re-run
+serially against up-to-date state instead of being aborted. Deterministic
+contracts therefore always commit (only business-rule failures abort),
+at the price of serial execution cost for exactly the conflicting tail.
+"""
+
+from __future__ import annotations
+
+from repro.core.xov import XovSystem
+
+
+class XoxSystem(XovSystem):
+    """XOX Fabric: XOV with post-order re-execution."""
+
+    name = "xox"
+    reexecute = True

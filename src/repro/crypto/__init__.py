@@ -1,0 +1,43 @@
+"""Cryptographic substrate for permissioned blockchains.
+
+Two tiers are provided, behind one interface:
+
+* A *real* public-key tier — Schnorr signatures and Pedersen commitments
+  over a named Schnorr group (``repro.crypto.group``). The verifiability
+  layer (zero-knowledge proofs, paper section 2.3.2) builds on this tier.
+* A *fast* tier — HMAC-based signatures mediated by the membership
+  service. Permissioned blockchains have a trusted identity layer by
+  definition, so a CA-mediated MAC is a behaviour-preserving stand-in
+  when benchmarks sign tens of thousands of messages.
+
+Digest and Merkle-tree helpers are shared by the ledger layer.
+"""
+
+from repro.crypto.digests import hash_pair, sha256_hex
+from repro.crypto.group import SchnorrGroup, default_group, simulation_group
+from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.crypto.commitments import PedersenCommitment, PedersenParams
+from repro.crypto.signatures import (
+    HmacSignatureScheme,
+    KeyPair,
+    MembershipService,
+    SchnorrSignatureScheme,
+    SignatureScheme,
+)
+
+__all__ = [
+    "HmacSignatureScheme",
+    "KeyPair",
+    "MembershipService",
+    "MerkleProof",
+    "MerkleTree",
+    "PedersenCommitment",
+    "PedersenParams",
+    "SchnorrGroup",
+    "SchnorrSignatureScheme",
+    "SignatureScheme",
+    "default_group",
+    "simulation_group",
+    "hash_pair",
+    "sha256_hex",
+]

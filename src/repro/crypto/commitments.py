@@ -1,0 +1,73 @@
+"""Pedersen commitments over a Schnorr group.
+
+A Pedersen commitment ``C = g^v * h^r mod p`` is perfectly hiding and
+computationally binding, and is *additively homomorphic*:
+``C(v1, r1) * C(v2, r2) = C(v1 + v2, r1 + r2)``. The verifiability layer
+(paper section 2.3.2) uses this homomorphism to check mass conservation
+of private transfers — inputs equal outputs — without seeing any amount.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.common.errors import CryptoError
+from repro.crypto.group import SchnorrGroup, default_group
+
+
+@dataclass(frozen=True)
+class PedersenParams:
+    """Public commitment parameters: the group and two generators."""
+
+    group: SchnorrGroup
+    g: int
+    h: int
+
+    @staticmethod
+    def create(group: SchnorrGroup | None = None) -> "PedersenParams":
+        group = group or default_group()
+        return PedersenParams(
+            group=group, g=group.g, h=group.independent_generator("pedersen-h")
+        )
+
+    def random_blinding(self) -> int:
+        """A uniformly random blinding factor in Z_q."""
+        return secrets.randbelow(self.group.q)
+
+    def commit(self, value: int, blinding: int) -> "PedersenCommitment":
+        """Commit to ``value`` with the given blinding factor."""
+        point = self.group.mul(
+            self.group.exp(self.g, value), self.group.exp(self.h, blinding)
+        )
+        return PedersenCommitment(params=self, point=point)
+
+
+@dataclass(frozen=True)
+class PedersenCommitment:
+    """A commitment point together with its public parameters."""
+
+    params: PedersenParams
+    point: int
+
+    def verify_opening(self, value: int, blinding: int) -> bool:
+        """True when ``(value, blinding)`` opens this commitment."""
+        return self.params.commit(value, blinding).point == self.point
+
+    def __mul__(self, other: "PedersenCommitment") -> "PedersenCommitment":
+        """Homomorphic addition of committed values."""
+        if self.params is not other.params and self.params != other.params:
+            raise CryptoError("cannot combine commitments under different params")
+        return PedersenCommitment(
+            params=self.params, point=self.params.group.mul(self.point, other.point)
+        )
+
+    def inverse(self) -> "PedersenCommitment":
+        """Commitment to the negated value (same magnitude of blinding)."""
+        return PedersenCommitment(
+            params=self.params, point=self.params.group.inv(self.point)
+        )
+
+    def is_commitment_to_zero_with(self, blinding: int) -> bool:
+        """True when this point equals ``h^blinding`` (i.e. commits to 0)."""
+        return self.point == self.params.group.exp(self.params.h, blinding)

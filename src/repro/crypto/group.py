@@ -1,0 +1,111 @@
+"""A Schnorr group (prime-order subgroup of Z_p*) for signatures and ZKPs.
+
+The default group uses the 1024-bit MODP safe prime from RFC 2409
+(Oakley group 2). Its subgroup of quadratic residues has prime order
+``q = (p - 1) / 2``, and ``g = 4 = 2^2`` generates it. 1024 bits is
+below modern production standards but is exactly the right size for a
+laptop-scale reproduction: operations stay genuinely asymmetric while a
+benchmark can still verify thousands of proofs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.common.errors import CryptoError
+
+# RFC 2409, section 6.2 (Oakley group 2): a 1024-bit safe prime.
+_OAKLEY2_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E08"
+    "8A67CC74020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B"
+    "302B0A6DF25F14374FE1356D6D51C245E485B576625E7EC6F44C42E9"
+    "A637ED6B0BFF5CB6F406B7EDEE386BFB5A899FA5AE9F24117C4B1FE6"
+    "49286651ECE65381FFFFFFFFFFFFFFFF",
+    16,
+)
+
+
+@dataclass(frozen=True)
+class SchnorrGroup:
+    """Prime-order subgroup of Z_p* with generator ``g`` of order ``q``."""
+
+    p: int
+    q: int
+    g: int
+
+    def validate(self) -> None:
+        """Check the public parameters are internally consistent."""
+        if (self.p - 1) % self.q != 0:
+            raise CryptoError("q must divide p - 1")
+        if pow(self.g, self.q, self.p) != 1:
+            raise CryptoError("g does not have order dividing q")
+        if self.g in (0, 1):
+            raise CryptoError("g must generate a non-trivial subgroup")
+
+    def exp(self, base: int, exponent: int) -> int:
+        """``base ** exponent mod p``."""
+        return pow(base, exponent % self.q, self.p)
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.p
+
+    def inv(self, a: int) -> int:
+        return pow(a, -1, self.p)
+
+    def is_element(self, a: int) -> bool:
+        """True when ``a`` lies in the order-q subgroup."""
+        return 0 < a < self.p and pow(a, self.q, self.p) == 1
+
+    def hash_to_exponent(self, *parts: bytes | str | int) -> int:
+        """Fiat-Shamir style hash of ``parts`` into Z_q."""
+        hasher = hashlib.sha256()
+        for part in parts:
+            if isinstance(part, int):
+                length = max(1, (part.bit_length() + 7) // 8)
+                chunk = part.to_bytes(length, "big")
+            elif isinstance(part, str):
+                chunk = part.encode()
+            else:
+                chunk = part
+            hasher.update(len(chunk).to_bytes(4, "big"))
+            hasher.update(chunk)
+        return int.from_bytes(hasher.digest(), "big") % self.q
+
+    def independent_generator(self, label: str) -> int:
+        """Derive a second generator with no *published* discrete log.
+
+        Production systems obtain ``h`` from a trusted setup; here we
+        hash a public label to an exponent. The discrete log is thus
+        derivable from the label — acceptable for a reproduction, noted
+        in DESIGN.md — but no code path in this library ever uses it.
+        """
+        return self.exp(self.g, self.hash_to_exponent("generator", label))
+
+
+def default_group() -> SchnorrGroup:
+    """The library-wide default group (RFC 2409 Oakley group 2, g = 4)."""
+    group = SchnorrGroup(p=_OAKLEY2_P, q=(_OAKLEY2_P - 1) // 2, g=4)
+    group.validate()
+    return group
+
+
+# A 256-bit safe prime (generated once with Miller-Rabin, seed 20260706).
+_SIM_P = int(
+    "DF7AF367C850F153B21ADAD929F6C348881226C46D510F5FFC2D2AAA013886CB",
+    16,
+)
+
+
+def simulation_group() -> SchnorrGroup:
+    """A reduced-security 256-bit group for *bulk simulation only*.
+
+    Range proofs over the 1024-bit default group cost hundreds of
+    milliseconds each; system-level benchmarks that verify thousands of
+    proofs use this group instead. The constructions are identical —
+    only the modulus (and hence the concrete security level) shrinks.
+    Never treat this group as cryptographically strong.
+    """
+    group = SchnorrGroup(p=_SIM_P, q=(_SIM_P - 1) // 2, g=4)
+    group.validate()
+    return group

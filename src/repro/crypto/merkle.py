@@ -1,0 +1,108 @@
+"""Merkle trees with inclusion proofs.
+
+Blocks commit to their transaction batch through a Merkle root; private
+data collections (paper section 2.3.1) put only such digests on the shared
+ledger and verify the off-ledger data against them.
+
+Odd levels duplicate the final node (the Bitcoin convention), which keeps
+proof generation simple and is documented behaviour, not an accident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import CryptoError
+from repro.crypto.digests import hash_pair, sha256_hex
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """An audit path from one leaf to the root.
+
+    ``path`` holds ``(sibling_digest, sibling_is_right)`` pairs from the
+    leaf level upward.
+    """
+
+    leaf: str
+    leaf_index: int
+    path: tuple[tuple[str, bool], ...]
+
+    def root(self) -> str:
+        """Recompute the root this proof commits to."""
+        current = self.leaf
+        for sibling, sibling_is_right in self.path:
+            if sibling_is_right:
+                current = hash_pair(current, sibling)
+            else:
+                current = hash_pair(sibling, current)
+        return current
+
+
+class MerkleTree:
+    """A static Merkle tree over a list of leaf payloads."""
+
+    def __init__(self, leaves: list[bytes | str]) -> None:
+        if not leaves:
+            raise CryptoError("Merkle tree requires at least one leaf")
+        self._leaf_digests = [sha256_hex(leaf) for leaf in leaves]
+        self._levels = self._build_levels(self._leaf_digests)
+
+    @staticmethod
+    def _build_levels(leaf_digests: list[str]) -> list[list[str]]:
+        levels = [list(leaf_digests)]
+        while len(levels[-1]) > 1:
+            below = levels[-1]
+            above = []
+            for i in range(0, len(below), 2):
+                left = below[i]
+                right = below[i + 1] if i + 1 < len(below) else below[i]
+                above.append(hash_pair(left, right))
+            levels.append(above)
+        return levels
+
+    @property
+    def root(self) -> str:
+        return self._levels[-1][0]
+
+    @property
+    def leaf_digests(self) -> list[str]:
+        return list(self._leaf_digests)
+
+    def __len__(self) -> int:
+        return len(self._leaf_digests)
+
+    def proof(self, index: int) -> MerkleProof:
+        """Inclusion proof for the leaf at ``index``."""
+        if not 0 <= index < len(self._leaf_digests):
+            raise CryptoError(
+                f"leaf index {index} out of range [0, {len(self._leaf_digests)})"
+            )
+        path: list[tuple[str, bool]] = []
+        position = index
+        for level in self._levels[:-1]:
+            if position % 2 == 0:
+                sibling_pos = position + 1 if position + 1 < len(level) else position
+                path.append((level[sibling_pos], True))
+            else:
+                path.append((level[position - 1], False))
+            position //= 2
+        return MerkleProof(
+            leaf=self._leaf_digests[index], leaf_index=index, path=tuple(path)
+        )
+
+    def verify(self, proof: MerkleProof) -> bool:
+        """True when ``proof`` leads to this tree's root."""
+        return proof.root() == self.root
+
+    @staticmethod
+    def verify_against_root(proof: MerkleProof, root: str) -> bool:
+        """Verify a proof without holding the tree (the on-ledger case)."""
+        return proof.root() == root
+
+
+def merkle_root(leaves: list[bytes | str]) -> str:
+    """Convenience: the Merkle root of ``leaves`` (empty list → digest of b'')."""
+    if not leaves:
+        return sha256_hex(b"")
+    return MerkleTree(leaves).root

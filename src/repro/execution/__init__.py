@@ -1,0 +1,69 @@
+"""Transaction execution engines.
+
+"Order" and "execute" are the two main phases of processing transactions
+in permissioned blockchains (paper section 1). This package provides the
+building blocks every architecture in ``repro.core`` composes:
+
+* a smart-contract registry with read/write-set capture,
+* the serial executor used by order-execute (OX) systems,
+* the dependency-graph parallel executor used by OXII (ParBlockchain),
+* MVCC endorsement/validation used by XOV (Fabric),
+* the Fabric++ / FabricSharp block-reordering algorithms,
+* the XOX post-order re-execution step.
+"""
+
+from repro.execution.contracts import ContractContext, ContractRegistry
+from repro.execution.endorsement import (
+    And,
+    EndorsementPolicy,
+    EndorsingPeerGroup,
+    KOutOf,
+    Or,
+    Org,
+    all_of,
+    any_of,
+    majority_of,
+)
+from repro.execution.depgraph import (
+    DependencyGraph,
+    build_dependency_graph,
+    schedule_waves,
+)
+from repro.execution.mvcc import EndorsedTx, endorse, validate_endorsement
+from repro.execution.reorder import (
+    ReorderOutcome,
+    reorder_fabricpp,
+    reorder_fabricsharp,
+)
+from repro.execution.reexec import ReexecutionReport, reexecute_invalidated
+from repro.execution.rwsets import RWSet, execute_with_capture
+from repro.execution.serial import SerialExecutionReport, execute_block_serially
+
+__all__ = [
+    "And",
+    "ContractContext",
+    "ContractRegistry",
+    "DependencyGraph",
+    "EndorsedTx",
+    "EndorsementPolicy",
+    "EndorsingPeerGroup",
+    "KOutOf",
+    "Or",
+    "Org",
+    "RWSet",
+    "ReexecutionReport",
+    "ReorderOutcome",
+    "SerialExecutionReport",
+    "all_of",
+    "any_of",
+    "build_dependency_graph",
+    "endorse",
+    "execute_block_serially",
+    "execute_with_capture",
+    "majority_of",
+    "reexecute_invalidated",
+    "reorder_fabricpp",
+    "reorder_fabricsharp",
+    "schedule_waves",
+    "validate_endorsement",
+]

@@ -1,0 +1,242 @@
+"""Endorsement policies — who must vouch for an XOV transaction.
+
+Paper section 2.3.1: in Fabric "each enterprise has its own set of
+executor (i.e., endorser) nodes where the transactions of the enterprise
+are executed by its endorser nodes". A transaction is only valid if the
+set of endorsers that signed identical results *satisfies the chaincode's
+endorsement policy* — an AND/OR/K-of-N expression over organisations.
+
+Two failure modes are modelled beyond plain XOV:
+
+* **policy failure** — not enough organisations endorsed;
+* **endorsement mismatch** — endorsers executed the same transaction but
+  produced different read/write sets (non-deterministic chaincode, or a
+  lying endorser). Fabric discards such transactions, which is the
+  "supports non-deterministic execution" property the paper credits XOV
+  with: divergence is caught *before* commit instead of corrupting
+  replicas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.common.errors import ConfigError, ValidationError
+from repro.common.types import Endorsement, Transaction
+from repro.crypto.signatures import MembershipService
+from repro.execution.contracts import ContractRegistry
+from repro.execution.mvcc import EndorsedTx
+from repro.execution.rwsets import RWSet, execute_with_capture
+from repro.ledger.store import StateSnapshot
+
+
+class EndorsementPolicy:
+    """Base class of the policy expression tree."""
+
+    def satisfied_by(self, orgs: set[str]) -> bool:
+        raise NotImplementedError
+
+    def organizations(self) -> set[str]:
+        """Every organisation the policy could ever ask for."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Org(EndorsementPolicy):
+    """Leaf: a specific organisation must endorse."""
+
+    name: str
+
+    def satisfied_by(self, orgs: set[str]) -> bool:
+        return self.name in orgs
+
+    def organizations(self) -> set[str]:
+        return {self.name}
+
+
+@dataclass(frozen=True)
+class And(EndorsementPolicy):
+    """Every sub-policy must be satisfied."""
+
+    parts: tuple[EndorsementPolicy, ...]
+
+    def satisfied_by(self, orgs: set[str]) -> bool:
+        return all(part.satisfied_by(orgs) for part in self.parts)
+
+    def organizations(self) -> set[str]:
+        return set().union(*(part.organizations() for part in self.parts))
+
+
+@dataclass(frozen=True)
+class Or(EndorsementPolicy):
+    """At least one sub-policy must be satisfied."""
+
+    parts: tuple[EndorsementPolicy, ...]
+
+    def satisfied_by(self, orgs: set[str]) -> bool:
+        return any(part.satisfied_by(orgs) for part in self.parts)
+
+    def organizations(self) -> set[str]:
+        return set().union(*(part.organizations() for part in self.parts))
+
+
+@dataclass(frozen=True)
+class KOutOf(EndorsementPolicy):
+    """At least ``k`` of the sub-policies must be satisfied."""
+
+    k: int
+    parts: tuple[EndorsementPolicy, ...]
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.k <= len(self.parts):
+            raise ConfigError(
+                f"k must be in [1, {len(self.parts)}], got {self.k}"
+            )
+
+    def satisfied_by(self, orgs: set[str]) -> bool:
+        return sum(1 for part in self.parts if part.satisfied_by(orgs)) >= self.k
+
+    def organizations(self) -> set[str]:
+        return set().union(*(part.organizations() for part in self.parts))
+
+
+def any_of(*names: str) -> Or:
+    return Or(tuple(Org(name) for name in names))
+
+
+def all_of(*names: str) -> And:
+    return And(tuple(Org(name) for name in names))
+
+
+def majority_of(*names: str) -> KOutOf:
+    return KOutOf(len(names) // 2 + 1, tuple(Org(name) for name in names))
+
+
+@dataclass
+class EndorsementOutcome:
+    """Result of collecting endorsements for one transaction."""
+
+    endorsed: EndorsedTx | None
+    endorsing_orgs: set[str]
+    reason: str | None  # None = success
+
+    @property
+    def ok(self) -> bool:
+        return self.endorsed is not None and self.endorsed.ok
+
+
+class EndorsingPeerGroup:
+    """The endorsing peers of a set of organisations.
+
+    Each organisation runs one endorsing peer (enrolled with the
+    membership service); a client gathers signed endorsements from the
+    organisations its policy names and submits the transaction only if
+    the policy is met with *matching* results.
+    """
+
+    def __init__(
+        self,
+        registry: ContractRegistry,
+        membership: MembershipService,
+        orgs: Iterable[str],
+    ) -> None:
+        self.registry = registry
+        self.membership = membership
+        self.orgs = sorted(set(orgs))
+        if not self.orgs:
+            raise ConfigError("need at least one endorsing organisation")
+        for org in self.orgs:
+            if not membership.is_member(self._peer_of(org)):
+                membership.register(self._peer_of(org))
+        #: Per-org fault injection: orgs listed here return a corrupted
+        #: read/write set (a lying endorser / non-deterministic contract).
+        self.faulty_orgs: set[str] = set()
+        #: Orgs listed here do not respond at all.
+        self.offline_orgs: set[str] = set()
+
+    @staticmethod
+    def _peer_of(org: str) -> str:
+        return f"peer.{org}"
+
+    def _endorse_at_org(
+        self, org: str, tx: Transaction, snapshot: StateSnapshot
+    ) -> tuple[RWSet, Endorsement]:
+        rwset = execute_with_capture(self.registry, tx, snapshot)
+        if org in self.faulty_orgs and rwset.ok:
+            # A lying endorser signs a divergent result.
+            rwset = RWSet(
+                tx_id=rwset.tx_id,
+                reads=dict(rwset.reads),
+                writes={**rwset.writes, f"corrupt:{org}": True},
+                ok=True,
+                result=rwset.result,
+                cost=rwset.cost,
+            )
+        digest = rwset.digest()
+        signature = self.membership.sign(self._peer_of(org), digest.encode())
+        endorsement = Endorsement(
+            endorser=self._peer_of(org),
+            tx_id=tx.tx_id,
+            rwset_digest=digest,
+            signature=signature,
+        )
+        return rwset, endorsement
+
+    def collect(
+        self,
+        tx: Transaction,
+        snapshot: StateSnapshot,
+        policy: EndorsementPolicy,
+    ) -> EndorsementOutcome:
+        """Gather endorsements from the policy's organisations and check
+        the policy over the *largest agreeing group* of results."""
+        targets = sorted(policy.organizations())
+        unknown = set(targets) - set(self.orgs)
+        if unknown:
+            raise ValidationError(f"policy names unknown orgs: {unknown}")
+        by_digest: dict[str, list[tuple[str, RWSet, Endorsement]]] = {}
+        for org in targets:
+            if org in self.offline_orgs:
+                continue
+            rwset, endorsement = self._endorse_at_org(org, tx, snapshot)
+            by_digest.setdefault(endorsement.rwset_digest, []).append(
+                (org, rwset, endorsement)
+            )
+        if not by_digest:
+            return EndorsementOutcome(
+                endorsed=None, endorsing_orgs=set(), reason="no_endorsers"
+            )
+        # The client submits the result the policy-satisfying group agrees
+        # on; disagreement beyond that is an endorsement mismatch.
+        best_digest = max(by_digest, key=lambda d: len(by_digest[d]))
+        group = by_digest[best_digest]
+        agreeing_orgs = {org for org, _, _ in group}
+        if not policy.satisfied_by(agreeing_orgs):
+            reason = (
+                "endorsement_mismatch" if len(by_digest) > 1
+                else "policy_unsatisfied"
+            )
+            return EndorsementOutcome(
+                endorsed=None, endorsing_orgs=agreeing_orgs, reason=reason
+            )
+        rwset = group[0][1]
+        endorsements = tuple(e for _, _, e in group)
+        return EndorsementOutcome(
+            endorsed=EndorsedTx(tx=tx, rwset=rwset, endorsements=endorsements),
+            endorsing_orgs=agreeing_orgs,
+            reason=None,
+        )
+
+    def verify_endorsements(self, endorsed: EndorsedTx) -> bool:
+        """Validator-side check: every endorsement signs the same digest
+        and verifies against its peer's registered key."""
+        digest = endorsed.rwset.digest()
+        for endorsement in endorsed.endorsements:
+            if endorsement.rwset_digest != digest:
+                return False
+            if not self.membership.verify(
+                endorsement.endorser, digest.encode(), endorsement.signature
+            ):
+                return False
+        return True

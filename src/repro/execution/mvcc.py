@@ -1,0 +1,60 @@
+"""MVCC endorsement and validation — the XOV (Fabric) pipeline pieces.
+
+In execute-order-validate (paper section 2.3.3), endorsers *simulate*
+a transaction against their current state, producing a versioned
+read/write set. After ordering, validators check that every read version
+is still current; a transaction whose reads went stale is marked invalid
+and its writes are discarded — "it has to disregard the effects of
+conflicting transactions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import Endorsement, Transaction
+from repro.execution.contracts import ContractRegistry
+from repro.execution.rwsets import RWSet, execute_with_capture
+from repro.ledger.store import StateSnapshot, StateStore
+
+
+@dataclass
+class EndorsedTx:
+    """A transaction together with its endorsement-time effects."""
+
+    tx: Transaction
+    rwset: RWSet
+    endorsements: tuple[Endorsement, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return self.rwset.ok
+
+
+def endorse(
+    tx: Transaction, snapshot: StateSnapshot | StateStore, registry: ContractRegistry
+) -> EndorsedTx:
+    """Simulate ``tx`` against ``snapshot`` (the endorsement phase)."""
+    rwset = execute_with_capture(registry, tx, snapshot)
+    return EndorsedTx(tx=tx, rwset=rwset)
+
+
+def validate_endorsement(
+    endorsed: EndorsedTx, store: StateStore, dirty: dict[str, int] | None = None
+) -> bool:
+    """MVCC check: are the endorsement-time read versions still current?
+
+    ``dirty`` optionally maps keys already written by *earlier valid
+    transactions of the same block* to the writing tx's position —
+    Fabric validates within a block too, so a tx reading a key written
+    earlier in the block is invalid even before the store is updated.
+    """
+    if not endorsed.ok:
+        return False
+    dirty = dirty or {}
+    for key, seen_version in endorsed.rwset.reads.items():
+        if key in dirty:
+            return False
+        if store.version_of(key) != seen_version:
+            return False
+    return True

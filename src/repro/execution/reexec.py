@@ -1,0 +1,55 @@
+"""Post-order re-execution — the XOX Fabric hybrid (paper section 2.3.3).
+
+XOX Fabric adds "a post-order execution step ... after the validation
+step to re-execute transactions that are invalidated due to read-write
+conflicts". Re-execution runs serially against the *latest* committed
+state, so it always succeeds for deterministic contracts (only
+business-rule aborts remain aborted); the price is serial execution
+cost for exactly the conflicting tail instead of aborting it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.execution.contracts import ContractRegistry
+from repro.execution.mvcc import EndorsedTx
+from repro.execution.rwsets import RWSet, execute_with_capture
+from repro.ledger.store import StateStore, Version
+
+
+@dataclass
+class ReexecutionReport:
+    """Outcome of the post-order step for one block."""
+
+    recovered: list[RWSet] = field(default_factory=list)
+    still_failed: list[RWSet] = field(default_factory=list)
+    modelled_cost: float = 0.0
+
+
+def reexecute_invalidated(
+    invalidated: list[EndorsedTx],
+    store: StateStore,
+    registry: ContractRegistry,
+    height: int,
+    first_tx_index: int,
+) -> ReexecutionReport:
+    """Serially re-run ``invalidated`` transactions against current state.
+
+    Writes of each recovered transaction are applied immediately, so
+    later re-executed transactions see them (same semantics as the
+    serial OX executor). ``first_tx_index`` positions the re-executed
+    writes after the block's valid transactions in version order.
+    """
+    report = ReexecutionReport()
+    tx_index = first_tx_index
+    for endorsed in invalidated:
+        rwset = execute_with_capture(registry, endorsed.tx, store)
+        report.modelled_cost += rwset.cost
+        if rwset.ok:
+            store.apply_writes(rwset.writes, Version(height=height, tx_index=tx_index))
+            report.recovered.append(rwset)
+        else:
+            report.still_failed.append(rwset)
+        tx_index += 1
+    return report

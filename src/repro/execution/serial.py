@@ -1,0 +1,52 @@
+"""Serial block execution — the order-execute (OX) execute phase.
+
+"Executor nodes execute the transactions of a block sequentially in the
+same order" (paper section 2.3.3). Because execution is deterministic
+and strictly ordered, every replica reaches the same state; the price is
+that the block's modelled execution time is the *sum* of its
+transactions' costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.execution.contracts import ContractRegistry
+from repro.execution.rwsets import RWSet, execute_with_capture
+from repro.ledger.block import Block
+from repro.ledger.store import StateStore, Version
+
+
+@dataclass
+class SerialExecutionReport:
+    """Outcome of executing one block serially."""
+
+    rwsets: list[RWSet] = field(default_factory=list)
+    committed: int = 0
+    failed: int = 0
+    modelled_cost: float = 0.0
+
+
+def execute_block_serially(
+    block: Block, store: StateStore, registry: ContractRegistry
+) -> SerialExecutionReport:
+    """Execute every transaction of ``block`` in order against ``store``.
+
+    Each transaction sees the writes of all earlier transactions in the
+    same block (they are applied immediately). Contracts that abort on a
+    business rule count as ``failed`` and write nothing — they are still
+    on the ledger, which is how OX systems record rejected transactions.
+    """
+    report = SerialExecutionReport()
+    for index, tx in enumerate(block.transactions):
+        rwset = execute_with_capture(registry, tx, store)
+        report.rwsets.append(rwset)
+        report.modelled_cost += rwset.cost
+        if rwset.ok:
+            store.apply_writes(
+                rwset.writes, Version(height=block.height, tx_index=index)
+            )
+            report.committed += 1
+        else:
+            report.failed += 1
+    return report

@@ -1,0 +1,36 @@
+"""Ledger data structures.
+
+The append-only, hash-chained blockchain ledger (paper section 2.2), the
+Caper-style DAG ledger in which each enterprise materialises only its own
+view (section 2.3.1), and the versioned key-value state store ("blockchain
+state / datastore") that execution architectures read and write.
+"""
+
+from repro.ledger.audit import (
+    InclusionProof,
+    prove_inclusion,
+    verify_transaction_content,
+)
+from repro.ledger.block import Block, BlockHeader, genesis_block
+from repro.ledger.chain import Blockchain
+from repro.ledger.dag import CaperDag, DagVertex
+from repro.ledger.pruning import PrunedLedger, StateCheckpoint, digest_state
+from repro.ledger.store import StateStore, Version, VersionedValue
+
+__all__ = [
+    "Block",
+    "BlockHeader",
+    "Blockchain",
+    "CaperDag",
+    "DagVertex",
+    "InclusionProof",
+    "PrunedLedger",
+    "StateCheckpoint",
+    "StateStore",
+    "Version",
+    "VersionedValue",
+    "digest_state",
+    "genesis_block",
+    "prove_inclusion",
+    "verify_transaction_content",
+]

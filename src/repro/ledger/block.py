@@ -1,0 +1,92 @@
+"""Blocks: a batch of transactions plus a hash-linked header."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import LedgerError
+from repro.common.types import Transaction
+from repro.crypto.digests import sha256_hex
+from repro.crypto.merkle import merkle_root
+
+
+@dataclass(frozen=True)
+class BlockHeader:
+    """Everything a block commits to, independent of its payload bytes.
+
+    ``prev_hash`` chains blocks together (paper section 2.2: "each block
+    includes the cryptographic hash of the previous block").
+    """
+
+    height: int
+    prev_hash: str
+    tx_root: str
+    timestamp: float
+    proposer: str
+
+    def digest(self) -> str:
+        material = (
+            f"{self.height}|{self.prev_hash}|{self.tx_root}"
+            f"|{self.timestamp}|{self.proposer}"
+        )
+        return sha256_hex(material)
+
+
+@dataclass(frozen=True)
+class Block:
+    """An immutable block: header plus ordered transaction batch."""
+
+    header: BlockHeader
+    transactions: tuple[Transaction, ...]
+
+    @staticmethod
+    def create(
+        height: int,
+        prev_hash: str,
+        transactions: list[Transaction] | tuple[Transaction, ...],
+        timestamp: float = 0.0,
+        proposer: str = "orderer",
+    ) -> "Block":
+        """Build a block, deriving the Merkle root from the batch."""
+        txs = tuple(transactions)
+        root = merkle_root([tx.digest() for tx in txs])
+        header = BlockHeader(
+            height=height,
+            prev_hash=prev_hash,
+            tx_root=root,
+            timestamp=timestamp,
+            proposer=proposer,
+        )
+        return Block(header=header, transactions=txs)
+
+    @property
+    def height(self) -> int:
+        return self.header.height
+
+    @property
+    def block_hash(self) -> str:
+        return self.header.digest()
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def validate_payload(self) -> None:
+        """Check the transaction batch matches the committed Merkle root."""
+        expected = merkle_root([tx.digest() for tx in self.transactions])
+        if expected != self.header.tx_root:
+            raise LedgerError(
+                f"block {self.height}: tx root mismatch "
+                f"(header {self.header.tx_root[:12]}…, payload {expected[:12]}…)"
+            )
+
+
+#: Hash value that the genesis block chains from.
+GENESIS_PREV_HASH = sha256_hex(b"repro-genesis")
+
+
+def genesis_block() -> Block:
+    """The canonical empty genesis block shared by all replicas."""
+    return Block.create(
+        height=0, prev_hash=GENESIS_PREV_HASH, transactions=(), timestamp=0.0,
+        proposer="genesis",
+    )

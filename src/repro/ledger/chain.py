@@ -1,0 +1,103 @@
+"""The append-only, hash-chained blockchain ledger."""
+
+from __future__ import annotations
+
+from repro.common.errors import LedgerError
+from repro.common.types import Transaction
+from repro.ledger.block import Block, genesis_block
+
+
+class Blockchain:
+    """One replica's copy of the ledger.
+
+    Appends validate the full chaining invariant (height, previous hash,
+    Merkle root), so a ledger object can never silently hold a broken
+    chain. Replica equality — the property Figure 1 illustrates — is a
+    tip-hash comparison.
+    """
+
+    def __init__(self, genesis: Block | None = None) -> None:
+        self._blocks: list[Block] = [genesis or genesis_block()]
+        self._tx_index: dict[str, tuple[int, int]] = {}
+
+    @property
+    def height(self) -> int:
+        """Height of the newest block (genesis is height 0)."""
+        return self._blocks[-1].height
+
+    @property
+    def head(self) -> Block:
+        return self._blocks[-1]
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self):
+        return iter(self._blocks)
+
+    def block(self, height: int) -> Block:
+        if not 0 <= height < len(self._blocks):
+            raise LedgerError(f"no block at height {height} (tip {self.height})")
+        return self._blocks[height]
+
+    def append(self, block: Block) -> None:
+        """Append ``block``, enforcing every chaining invariant."""
+        if block.height != self.height + 1:
+            raise LedgerError(
+                f"expected height {self.height + 1}, got {block.height}"
+            )
+        if block.header.prev_hash != self.head.block_hash:
+            raise LedgerError(
+                f"block {block.height} does not chain from tip "
+                f"{self.head.block_hash[:12]}…"
+            )
+        block.validate_payload()
+        self._blocks.append(block)
+        for position, tx in enumerate(block.transactions):
+            self._tx_index[tx.tx_id] = (block.height, position)
+
+    def next_block(
+        self,
+        transactions: list[Transaction] | tuple[Transaction, ...],
+        timestamp: float = 0.0,
+        proposer: str = "orderer",
+    ) -> Block:
+        """Construct (without appending) the block that would extend the tip."""
+        return Block.create(
+            height=self.height + 1,
+            prev_hash=self.head.block_hash,
+            transactions=transactions,
+            timestamp=timestamp,
+            proposer=proposer,
+        )
+
+    def find_transaction(self, tx_id: str) -> tuple[Block, int] | None:
+        """Locate a committed transaction: (block, position) or None."""
+        location = self._tx_index.get(tx_id)
+        if location is None:
+            return None
+        height, position = location
+        return self._blocks[height], position
+
+    def all_transactions(self):
+        """Every committed transaction in ledger order."""
+        for block in self._blocks:
+            yield from block.transactions
+
+    def tip_hash(self) -> str:
+        return self.head.block_hash
+
+    def same_ledger_as(self, other: "Blockchain") -> bool:
+        """True when both replicas hold byte-identical chains.
+
+        Because every block commits to its predecessor, equal tip hashes
+        at equal height imply the full prefixes are identical.
+        """
+        return self.height == other.height and self.tip_hash() == other.tip_hash()
+
+    def verify_chain(self) -> None:
+        """Re-validate the whole chain from genesis (audit path)."""
+        for previous, current in zip(self._blocks, self._blocks[1:]):
+            if current.header.prev_hash != previous.block_hash:
+                raise LedgerError(f"broken chain link at height {current.height}")
+            current.validate_payload()

@@ -1,0 +1,145 @@
+"""Checkpointing and ledger pruning — bounding state on long chains.
+
+PBFT garbage-collects its message log at checkpoints (paper section
+2.2's protocols; implemented in ``repro.consensus.pbft``); the ledger
+analogue is pruning: once a state checkpoint at height ``h`` is agreed
+(2f+1 signatures in a real deployment), a node may discard block
+*bodies* up to ``h`` and keep only headers — history stays verifiable
+(the header chain and inclusion proofs for retained blocks still work),
+while storage drops from O(transactions) to O(blocks + live state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.errors import LedgerError
+from repro.crypto.digests import sha256_hex
+from repro.ledger.block import Block, BlockHeader
+from repro.ledger.chain import Blockchain
+from repro.ledger.store import StateStore, Version
+
+
+@dataclass(frozen=True)
+class StateCheckpoint:
+    """A digest-committed snapshot of world state at one height."""
+
+    height: int
+    state_digest: str
+    state: dict[str, Any]
+
+    @staticmethod
+    def capture(store: StateStore, height: int) -> "StateCheckpoint":
+        state = store.as_dict()
+        return StateCheckpoint(
+            height=height,
+            state_digest=digest_state(state),
+            state=state,
+        )
+
+    def verify(self) -> bool:
+        return digest_state(self.state) == self.state_digest
+
+    def restore(self) -> StateStore:
+        """Materialise a store from the checkpoint (new-node bootstrap)."""
+        if not self.verify():
+            raise LedgerError("checkpoint digest mismatch")
+        store = StateStore()
+        store.apply_writes(dict(self.state), Version(self.height, 0))
+        return store
+
+
+def digest_state(state: dict[str, Any]) -> str:
+    """Canonical digest of a state dictionary (sorted key order)."""
+    material = "|".join(
+        f"{key}={state[key]!r}" for key in sorted(state)
+    )
+    return sha256_hex(material)
+
+
+class PrunedLedger:
+    """A ledger that kept every header but dropped old block bodies.
+
+    Built from a full :class:`Blockchain` by :meth:`prune`; retains the
+    complete header chain (so the tip hash and header-chain verification
+    are unchanged) plus the bodies of blocks newer than the checkpoint.
+    """
+
+    def __init__(
+        self,
+        headers: list[BlockHeader],
+        retained: dict[int, Block],
+        checkpoint: StateCheckpoint,
+    ) -> None:
+        self.headers = headers
+        self.retained = retained
+        self.checkpoint = checkpoint
+
+    @staticmethod
+    def prune(chain: Blockchain, checkpoint: StateCheckpoint) -> "PrunedLedger":
+        """Discard block bodies at or below the checkpoint height."""
+        if not 0 <= checkpoint.height <= chain.height:
+            raise LedgerError(
+                f"checkpoint height {checkpoint.height} outside the chain"
+            )
+        if not checkpoint.verify():
+            raise LedgerError("refusing to prune against a bad checkpoint")
+        headers = [
+            chain.block(height).header for height in range(chain.height + 1)
+        ]
+        retained = {
+            height: chain.block(height)
+            for height in range(checkpoint.height + 1, chain.height + 1)
+        }
+        return PrunedLedger(
+            headers=headers, retained=retained, checkpoint=checkpoint
+        )
+
+    @property
+    def height(self) -> int:
+        return self.headers[-1].height
+
+    def tip_hash(self) -> str:
+        return self.headers[-1].digest()
+
+    def storage_blocks(self) -> int:
+        """Bodies actually stored (the pruning win)."""
+        return len(self.retained)
+
+    def verify(self) -> None:
+        """Header-chain continuity plus retained-body integrity."""
+        for earlier, later in zip(self.headers, self.headers[1:]):
+            if later.prev_hash != earlier.digest():
+                raise LedgerError(
+                    f"broken header chain at height {later.height}"
+                )
+        for height, block in self.retained.items():
+            if block.header != self.headers[height]:
+                raise LedgerError(f"retained block {height} header mismatch")
+            block.validate_payload()
+        if not self.checkpoint.verify():
+            raise LedgerError("checkpoint digest mismatch")
+
+    def block(self, height: int) -> Block:
+        """Body access; pruned heights raise (only headers survive)."""
+        if height in self.retained:
+            return self.retained[height]
+        if 0 <= height <= self.height:
+            raise LedgerError(
+                f"block {height} was pruned (checkpoint at "
+                f"{self.checkpoint.height})"
+            )
+        raise LedgerError(f"no block at height {height}")
+
+    def rebuild_state(self, registry, execute_fn) -> StateStore:
+        """Bootstrap: restore the checkpoint, replay retained blocks.
+
+        ``execute_fn(block, store, registry)`` is the system's execution
+        function (e.g. ``execute_block_serially``); after replay the
+        store matches a never-pruned replica's.
+        """
+        store = self.checkpoint.restore()
+        for height in sorted(self.retained):
+            execute_fn(self.retained[height], store, registry)
+        return store

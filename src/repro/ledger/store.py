@@ -1,0 +1,103 @@
+"""The versioned key-value state store ("blockchain state / datastore").
+
+Execute-order-validate systems (Fabric, paper section 2.3.3) rely on
+*versioned* reads: an endorser records the version of every key it read,
+and the validator later checks those versions are still current (MVCC).
+The store therefore tracks, for every key, the version — (block height,
+transaction index) — that last wrote it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Version:
+    """Last-writer version of a key: ordered by (height, tx position)."""
+
+    height: int
+    tx_index: int
+
+
+#: Version assigned to keys that have never been written.
+NEVER_WRITTEN = Version(height=-1, tx_index=-1)
+
+
+@dataclass(frozen=True)
+class VersionedValue:
+    value: Any
+    version: Version
+
+
+class StateSnapshot:
+    """An immutable point-in-time view of a store (endorsement reads)."""
+
+    def __init__(self, data: dict[str, VersionedValue]) -> None:
+        self._data = data
+
+    def get(self, key: str, default: Any = None) -> Any:
+        entry = self._data.get(key)
+        return entry.value if entry is not None else default
+
+    def get_versioned(self, key: str) -> VersionedValue:
+        return self._data.get(key, VersionedValue(None, NEVER_WRITTEN))
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+
+class StateStore:
+    """The mutable world state held by one replica."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, VersionedValue] = {}
+
+    def get(self, key: str, default: Any = None) -> Any:
+        entry = self._data.get(key)
+        return entry.value if entry is not None else default
+
+    def get_versioned(self, key: str) -> VersionedValue:
+        return self._data.get(key, VersionedValue(None, NEVER_WRITTEN))
+
+    def version_of(self, key: str) -> Version:
+        return self.get_versioned(key).version
+
+    def put(self, key: str, value: Any, version: Version) -> None:
+        self._data[key] = VersionedValue(value=value, version=version)
+
+    def delete(self, key: str) -> None:
+        self._data.pop(key, None)
+
+    def apply_writes(self, writes: dict[str, Any], version: Version) -> None:
+        """Install a committed write set atomically at ``version``."""
+        for key, value in writes.items():
+            if value is None:
+                self.delete(key)
+            else:
+                self.put(key, value, version)
+
+    def snapshot(self) -> StateSnapshot:
+        """Copy-on-read snapshot (the endorsement-time view in XOV)."""
+        return StateSnapshot(dict(self._data))
+
+    def keys(self) -> list[str]:
+        return list(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain {key: value} copy, for assertions and state comparison."""
+        return {key: entry.value for key, entry in self._data.items()}
+
+    def same_state_as(self, other: "StateStore") -> bool:
+        """Value-level equality of two replicas' world state."""
+        return self.as_dict() == other.as_dict()

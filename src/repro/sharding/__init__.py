@@ -1,0 +1,39 @@
+"""Scalability techniques (paper section 2.3.4).
+
+Four systems spanning the design space:
+
+=============  ==============  =======================================
+System         Ledger          Cross-shard processing
+=============  ==============  =======================================
+ResilientDB    single, global  none — every cluster executes everything
+AHL            sharded         centralized: reference committee, 2PC/2PL
+SharPer        sharded         decentralized flattened consensus
+Saguaro        sharded         hierarchical: LCA cluster coordinates
+=============  ==============  =======================================
+
+Plus the committee-safety calculator behind AHL's "80 nodes instead of
+~600" claim (:func:`~repro.sharding.ahl.min_committee_size`).
+"""
+
+from repro.sharding.ahl import (
+    AhlSystem,
+    committee_failure_probability,
+    min_committee_size,
+)
+from repro.sharding.clusters import ClusterPort, ShardedConfig, ShardedSystem
+from repro.sharding.resilientdb import ResilientDbSystem
+from repro.sharding.saguaro import SaguaroConfig, SaguaroSystem
+from repro.sharding.sharper import SharPerSystem
+
+__all__ = [
+    "AhlSystem",
+    "ClusterPort",
+    "ResilientDbSystem",
+    "SaguaroConfig",
+    "SaguaroSystem",
+    "ShardedConfig",
+    "ShardedSystem",
+    "SharPerSystem",
+    "committee_failure_probability",
+    "min_committee_size",
+]

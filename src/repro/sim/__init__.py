@@ -1,0 +1,33 @@
+"""Deterministic discrete-event simulation substrate.
+
+Every protocol in this library runs as message-passing state machines on
+top of this kernel: a virtual clock, an event heap, a network with
+configurable latency (LAN or WAN region matrices), message loss and
+partitions, and nodes with timers plus crash/Byzantine fault injection.
+
+Determinism is a design requirement (DESIGN.md): given the same seed,
+every experiment replays event-for-event, which is what makes the
+benchmark tables in EXPERIMENTS.md reproducible.
+"""
+
+from repro.sim.core import Simulation
+from repro.sim.events import Event, EventQueue
+from repro.sim.faults import CrashSchedule
+from repro.sim.network import LanLatency, LatencyModel, Network, WanLatency
+from repro.sim.node import Node, Timer
+from repro.sim.trace import NetworkTracer, TraceEvent
+
+__all__ = [
+    "CrashSchedule",
+    "Event",
+    "EventQueue",
+    "LanLatency",
+    "LatencyModel",
+    "Network",
+    "NetworkTracer",
+    "Node",
+    "Simulation",
+    "Timer",
+    "TraceEvent",
+    "WanLatency",
+]

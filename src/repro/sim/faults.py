@@ -1,0 +1,43 @@
+"""Declarative fault schedules for experiments.
+
+A :class:`CrashSchedule` lists crash/recover actions at virtual times and
+applies them to a simulation before it runs. Byzantine behaviours are
+protocol-specific and live next to each protocol (e.g. the equivocating
+PBFT replica in ``repro.consensus.pbft``); this module handles the
+protocol-agnostic crash model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.sim.core import Simulation
+from repro.sim.node import Node
+
+
+@dataclass
+class CrashSchedule:
+    """Crash and recovery actions keyed by virtual time."""
+
+    crashes: list[tuple[float, str]] = field(default_factory=list)
+    recoveries: list[tuple[float, str]] = field(default_factory=list)
+
+    def crash_at(self, time: float, node_id: str) -> "CrashSchedule":
+        self.crashes.append((time, node_id))
+        return self
+
+    def recover_at(self, time: float, node_id: str) -> "CrashSchedule":
+        self.recoveries.append((time, node_id))
+        return self
+
+    def apply(self, sim: Simulation, nodes: dict[str, Node]) -> None:
+        """Schedule every action on ``sim`` against ``nodes``."""
+        for time, node_id in self.crashes:
+            if node_id not in nodes:
+                raise ConfigError(f"crash schedule names unknown node: {node_id}")
+            sim.schedule_at(time, nodes[node_id].crash)
+        for time, node_id in self.recoveries:
+            if node_id not in nodes:
+                raise ConfigError(f"recovery schedule names unknown node: {node_id}")
+            sim.schedule_at(time, nodes[node_id].recover)

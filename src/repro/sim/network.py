@@ -1,0 +1,176 @@
+"""Simulated network: latency models, loss, partitions, traffic accounting.
+
+The tutorial's scalability section (2.3.4) hinges on network geometry —
+ResilientDB's topology-aware clusters, Saguaro's edge/fog/cloud
+hierarchy — so the network distinguishes LAN and WAN links through
+pluggable latency models and a per-node region map.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Iterable
+
+from repro.common.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.core import Simulation
+    from repro.sim.node import Node
+
+#: Modelled wire size for a message that does not say otherwise.
+DEFAULT_MESSAGE_BYTES = 256
+
+
+def message_size(message: object) -> int:
+    """Modelled wire size of a message.
+
+    Messages may expose ``size_bytes`` (an int attribute or property);
+    anything else is charged :data:`DEFAULT_MESSAGE_BYTES`.
+    """
+    size = getattr(message, "size_bytes", None)
+    if isinstance(size, int) and size > 0:
+        return size
+    return DEFAULT_MESSAGE_BYTES
+
+
+class LatencyModel:
+    """Interface: one-way delay between two nodes."""
+
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        raise NotImplementedError
+
+
+class LanLatency(LatencyModel):
+    """Uniform base-plus-jitter delay, the single-datacenter case."""
+
+    def __init__(self, base: float = 0.001, jitter: float = 0.0005) -> None:
+        if base < 0 or jitter < 0:
+            raise ConfigError("latency parameters must be non-negative")
+        self.base = base
+        self.jitter = jitter
+
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        return self.base + rng.uniform(0.0, self.jitter)
+
+
+class WanLatency(LatencyModel):
+    """Region-matrix delay: LAN within a region, WAN across regions.
+
+    ``region_of`` maps node id to a region name; ``matrix`` gives one-way
+    delay between region pairs (symmetric — the reverse pair is looked
+    up automatically). Unknown nodes fall back to the LAN model.
+    """
+
+    def __init__(
+        self,
+        region_of: dict[str, str],
+        matrix: dict[tuple[str, str], float],
+        lan: LanLatency | None = None,
+        jitter_fraction: float = 0.1,
+    ) -> None:
+        self.region_of = dict(region_of)
+        self.matrix = dict(matrix)
+        self.lan = lan or LanLatency()
+        self.jitter_fraction = jitter_fraction
+
+    def assign(self, node_id: str, region: str) -> None:
+        self.region_of[node_id] = region
+
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        src_region = self.region_of.get(src)
+        dst_region = self.region_of.get(dst)
+        if src_region is None or dst_region is None or src_region == dst_region:
+            return self.lan.sample(rng, src, dst)
+        base = self.matrix.get((src_region, dst_region))
+        if base is None:
+            base = self.matrix.get((dst_region, src_region))
+        if base is None:
+            raise ConfigError(
+                f"no WAN latency configured for {src_region}<->{dst_region}"
+            )
+        return base * (1.0 + rng.uniform(0.0, self.jitter_fraction))
+
+
+class Network:
+    """Message transport between registered nodes.
+
+    Supports probabilistic drops and named partitions (messages between
+    different partition groups are silently dropped, as in a real
+    network split). All traffic is accounted in the simulation's
+    metrics registry under ``net.messages`` and ``net.bytes``.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        latency: LatencyModel | None = None,
+        drop_probability: float = 0.0,
+    ) -> None:
+        if not 0.0 <= drop_probability < 1.0:
+            raise ConfigError("drop_probability must be in [0, 1)")
+        self.sim = sim
+        self.latency = latency or LanLatency()
+        self.drop_probability = drop_probability
+        self._nodes: dict[str, "Node"] = {}
+        self._partition_of: dict[str, int] = {}
+
+    def join(self, node: "Node") -> None:
+        if node.node_id in self._nodes:
+            raise ConfigError(f"duplicate node id on network: {node.node_id}")
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: str) -> "Node":
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise ConfigError(f"unknown node: {node_id}") from None
+
+    @property
+    def node_ids(self) -> list[str]:
+        return list(self._nodes)
+
+    def partition(self, groups: Iterable[Iterable[str]]) -> None:
+        """Split the network: traffic only flows within one group."""
+        self._partition_of.clear()
+        for index, group in enumerate(groups):
+            for node_id in group:
+                self._partition_of[node_id] = index
+
+    def heal(self) -> None:
+        """Remove any partition."""
+        self._partition_of.clear()
+
+    def _partitioned(self, src: str, dst: str) -> bool:
+        if not self._partition_of:
+            return False
+        return self._partition_of.get(src) != self._partition_of.get(dst)
+
+    def send(self, src: str, dst: str, message: object) -> None:
+        """Deliver ``message`` from ``src`` to ``dst`` after sampled latency.
+
+        Sends to unknown/crashed destinations and across partitions are
+        dropped silently — exactly what a sender observes in a real
+        asynchronous network.
+        """
+        self.sim.metrics.incr("net.messages")
+        self.sim.metrics.incr("net.bytes", message_size(message))
+        if dst not in self._nodes:
+            return
+        if self._partitioned(src, dst):
+            self.sim.metrics.incr("net.dropped.partition")
+            return
+        if self.drop_probability and self.sim.rng.random() < self.drop_probability:
+            self.sim.metrics.incr("net.dropped.loss")
+            return
+        delay = self.latency.sample(self.sim.rng, src, dst)
+        destination = self._nodes[dst]
+        self.sim.schedule(delay, lambda: destination.deliver(src, message))
+
+    def broadcast(
+        self, src: str, message: object, targets: Iterable[str] | None = None
+    ) -> None:
+        """Send ``message`` to every target (default: all other nodes)."""
+        if targets is None:
+            targets = [nid for nid in self._nodes if nid != src]
+        for dst in targets:
+            self.send(src, dst, message)

@@ -1,0 +1,82 @@
+"""Base class for simulated nodes (replicas, orderers, endorsers, clients)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.core import Simulation
+from repro.sim.events import Event
+from repro.sim.network import Network
+
+
+class Timer:
+    """A cancellable timer owned by a node."""
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancel()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class Node:
+    """A process on the simulated network.
+
+    Subclasses implement :meth:`on_message`. A crashed node drops all
+    incoming messages and its timer callbacks never fire (the crash
+    failure model from paper section 2.2: "when a node fails it stops
+    processing completely").
+    """
+
+    def __init__(self, node_id: str, sim: Simulation, network: Network) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.network = network
+        self.crashed = False
+        network.join(self)
+
+    # -- transport ---------------------------------------------------------
+
+    def send(self, dst: str, message: object) -> None:
+        if self.crashed:
+            return
+        self.network.send(self.node_id, dst, message)
+
+    def broadcast(self, message: object, targets=None) -> None:
+        if self.crashed:
+            return
+        self.network.broadcast(self.node_id, message, targets)
+
+    def deliver(self, src: str, message: object) -> None:
+        """Called by the network when a message arrives."""
+        if self.crashed:
+            return
+        self.on_message(src, message)
+
+    def on_message(self, src: str, message: object) -> None:
+        raise NotImplementedError
+
+    # -- timers ------------------------------------------------------------
+
+    def set_timer(self, delay: float, callback: Callable[[], None]) -> Timer:
+        """Run ``callback`` after ``delay`` unless cancelled or crashed."""
+
+        def fire() -> None:
+            if not self.crashed:
+                callback()
+
+        return Timer(self.sim.schedule(delay, fire))
+
+    # -- fault injection ---------------------------------------------------
+
+    def crash(self) -> None:
+        """Stop processing entirely (crash failure)."""
+        self.crashed = True
+
+    def recover(self) -> None:
+        """Resume processing; protocol state is whatever the subclass kept."""
+        self.crashed = False

@@ -1,0 +1,100 @@
+"""Network tracing: see exactly what a protocol says on the wire.
+
+A :class:`NetworkTracer` attached to a network records every send with
+its virtual timestamp, endpoints, and message type. Protocol debugging,
+the message-complexity numbers in EXPERIMENTS.md, and several tests are
+built on these traces — e.g. asserting that a PBFT decision really is
+pre-prepare → prepare → commit and nothing else.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.sim.network import Network, message_size
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One message on the wire."""
+
+    time: float
+    src: str
+    dst: str
+    message_type: str
+    size_bytes: int
+
+
+class NetworkTracer:
+    """Records every message a network carries.
+
+    Attach before the run::
+
+        tracer = NetworkTracer.attach(cluster.network)
+        ... run ...
+        tracer.summary()   # {"PrePrepare": 3, "Prepare": 12, ...}
+    """
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    @classmethod
+    def attach(cls, network: Network) -> "NetworkTracer":
+        tracer = cls()
+        original_send = network.send
+
+        def traced_send(src: str, dst: str, message: object) -> None:
+            tracer.events.append(
+                TraceEvent(
+                    time=network.sim.now,
+                    src=src,
+                    dst=dst,
+                    message_type=type(message).__name__,
+                    size_bytes=message_size(message),
+                )
+            )
+            original_send(src, dst, message)
+
+        network.send = traced_send  # type: ignore[method-assign]
+        return tracer
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def summary(self) -> dict[str, int]:
+        """Message counts by type."""
+        return dict(Counter(event.message_type for event in self.events))
+
+    def bytes_by_type(self) -> dict[str, int]:
+        totals: Counter[str] = Counter()
+        for event in self.events:
+            totals[event.message_type] += event.size_bytes
+        return dict(totals)
+
+    def between(self, start: float, end: float) -> list[TraceEvent]:
+        """Events in the half-open virtual-time window [start, end)."""
+        return [e for e in self.events if start <= e.time < end]
+
+    def involving(self, node_id: str) -> list[TraceEvent]:
+        return [
+            e for e in self.events if node_id in (e.src, e.dst)
+        ]
+
+    def of_type(self, *message_types: str) -> list[TraceEvent]:
+        wanted = set(message_types)
+        return [e for e in self.events if e.message_type in wanted]
+
+    def timeline(self, limit: int = 50) -> str:
+        """Human-readable trace (first ``limit`` events)."""
+        lines = [
+            f"{e.time:9.4f}  {e.src:>12s} -> {e.dst:<12s} {e.message_type}"
+            for e in self.events[:limit]
+        ]
+        if len(self.events) > limit:
+            lines.append(f"... {len(self.events) - limit} more")
+        return "\n".join(lines)
+
+    def fan_out(self) -> dict[str, int]:
+        """Messages sent per node — who talks the most."""
+        return dict(Counter(event.src for event in self.events))

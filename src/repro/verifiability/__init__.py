@@ -1,0 +1,59 @@
+"""Verifiability techniques (paper section 2.3.2).
+
+Two technique families behind the same goal — verifying other
+enterprises' transactions against global constraints without learning
+their data:
+
+* **Cryptographic** (truly decentralized, higher overhead):
+  the zero-knowledge toolkit in :mod:`repro.verifiability.zkp` and the
+  Quorum private-transaction system in
+  :mod:`repro.verifiability.quorum`.
+* **Token-based** (needs a trusted authority, better performance):
+  Separ in :mod:`repro.verifiability.separ`.
+"""
+
+from repro.verifiability.quorum import (
+    PrivateTransfer,
+    PrivateWallet,
+    QuorumConfig,
+    QuorumSystem,
+)
+from repro.verifiability.shielded import (
+    LsagSignature,
+    Note,
+    ShieldedPool,
+    SpendTx,
+)
+from repro.verifiability.separ import (
+    SeparConfig,
+    SeparSystem,
+    Token,
+    TokenAuthority,
+    TokenizedClaim,
+)
+from repro.verifiability.zkp import (
+    BitProof,
+    OpeningProof,
+    RangeProof,
+    SchnorrProof,
+)
+
+__all__ = [
+    "BitProof",
+    "LsagSignature",
+    "Note",
+    "OpeningProof",
+    "PrivateTransfer",
+    "PrivateWallet",
+    "QuorumConfig",
+    "QuorumSystem",
+    "RangeProof",
+    "SchnorrProof",
+    "SeparConfig",
+    "SeparSystem",
+    "ShieldedPool",
+    "SpendTx",
+    "Token",
+    "TokenAuthority",
+    "TokenizedClaim",
+]

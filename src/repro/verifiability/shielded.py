@@ -1,0 +1,211 @@
+"""A shielded note pool — the Zcash-style corner of verifiability.
+
+Paper section 2.3.2: "Verifiability is also needed in cryptocurrencies
+with enhanced privacy, e.g., Zcash, where transaction data is
+confidential and nodes need to verify the transaction without knowing
+the sender, receiver or transaction amount."
+
+Zcash achieves this with zk-SNARKs, which are out of reach for a pure
+sigma-protocol toolkit; this module implements the closest classical
+construction (the Monero lineage) with real cryptography over the
+library's Schnorr group:
+
+* funds live as fixed-denomination **notes**, each a one-time public key
+  (so receivers are unlinkable across transactions);
+* a spend carries an **LSAG linkable ring signature** (Liu–Wei–Wong
+  2004): it proves the spender owns *one of* the ring's notes without
+  revealing which (sender anonymity), and exposes a **key image** that
+  is deterministic per note — spending the same note twice produces the
+  same key image, which is how validators reject double spends while
+  learning nothing else.
+
+Fixed denominations stand in for Zcash's hidden amounts (documented
+substitution; hidden-amount transfers live in
+``repro.verifiability.quorum``).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.common.errors import CryptoError, ValidationError
+from repro.crypto.group import SchnorrGroup, simulation_group
+
+
+def hash_to_point(group: SchnorrGroup, *parts) -> int:
+    """Map data to a group element with unknown relative discrete log."""
+    return group.exp(group.g, group.hash_to_exponent("h2p", *parts))
+
+
+@dataclass(frozen=True)
+class LsagSignature:
+    """A linkable spontaneous anonymous group signature.
+
+    ``key_image`` is the linking tag: one per (note, owner) pair,
+    unlinkable to the note without solving DDH, identical on every spend
+    of the same note.
+    """
+
+    c0: int
+    responses: tuple[int, ...]
+    key_image: int
+
+    @staticmethod
+    def sign(
+        group: SchnorrGroup,
+        ring: tuple[int, ...],
+        secret_index: int,
+        secret_key: int,
+        message: str,
+    ) -> "LsagSignature":
+        n = len(ring)
+        if not 0 <= secret_index < n:
+            raise CryptoError("secret index outside the ring")
+        if group.exp(group.g, secret_key) != ring[secret_index]:
+            raise CryptoError("secret key does not own the ring member")
+        q = group.q
+        base_point = hash_to_point(group, ring[secret_index])
+        key_image = group.exp(base_point, secret_key)
+        challenges: list[int | None] = [None] * n
+        responses: list[int | None] = [None] * n
+        alpha = secrets.randbelow(q)
+        left = group.exp(group.g, alpha)
+        right = group.exp(base_point, alpha)
+        challenges[(secret_index + 1) % n] = group.hash_to_exponent(
+            message, left, right
+        )
+        index = (secret_index + 1) % n
+        while index != secret_index:
+            s = secrets.randbelow(q)
+            responses[index] = s
+            c = challenges[index]
+            assert c is not None
+            member_base = hash_to_point(group, ring[index])
+            left = group.mul(group.exp(group.g, s), group.exp(ring[index], c))
+            right = group.mul(
+                group.exp(member_base, s), group.exp(key_image, c)
+            )
+            challenges[(index + 1) % n] = group.hash_to_exponent(
+                message, left, right
+            )
+            index = (index + 1) % n
+        c_pi = challenges[secret_index]
+        assert c_pi is not None
+        responses[secret_index] = (alpha - c_pi * secret_key) % q
+        c0 = challenges[0]
+        assert c0 is not None
+        return LsagSignature(
+            c0=c0,
+            responses=tuple(responses),  # type: ignore[arg-type]
+            key_image=key_image,
+        )
+
+    def verify(
+        self, group: SchnorrGroup, ring: tuple[int, ...], message: str
+    ) -> bool:
+        if len(self.responses) != len(ring) or not ring:
+            return False
+        if not group.is_element(self.key_image):
+            return False
+        c = self.c0
+        for index, public in enumerate(ring):
+            s = self.responses[index]
+            member_base = hash_to_point(group, public)
+            left = group.mul(group.exp(group.g, s), group.exp(public, c))
+            right = group.mul(
+                group.exp(member_base, s), group.exp(self.key_image, c)
+            )
+            c = group.hash_to_exponent(message, left, right)
+        return c == self.c0
+
+
+@dataclass(frozen=True)
+class Note:
+    """A fixed-denomination shielded note: just a one-time public key."""
+
+    public_key: int
+
+
+@dataclass(frozen=True)
+class SpendTx:
+    """A shielded transfer: a ring of candidate inputs, the LSAG proof,
+    and the freshly created output note. Nothing identifies the sender
+    (any ring member could be paying) or the receiver (the output key is
+    one-time)."""
+
+    ring: tuple[int, ...]
+    signature: LsagSignature
+    output: Note
+
+
+class ShieldedPool:
+    """The validator-side state: notes and seen key images."""
+
+    def __init__(self, group: SchnorrGroup | None = None,
+                 ring_size: int = 8) -> None:
+        if ring_size < 2:
+            raise ValidationError("a ring needs at least two members")
+        self.group = group or simulation_group()
+        self.ring_size = ring_size
+        self.notes: list[Note] = []
+        self.spent_key_images: set[int] = set()
+
+    # -- client side -----------------------------------------------------------
+
+    def keygen(self) -> tuple[int, int]:
+        """A fresh one-time key pair for a new note."""
+        secret = secrets.randbelow(self.group.q - 1) + 1
+        return secret, self.group.exp(self.group.g, secret)
+
+    def deposit(self, public_key: int) -> int:
+        """Mint a note to ``public_key`` (the transparent -> shielded
+        move); returns the note's pool index."""
+        if not self.group.is_element(public_key):
+            raise ValidationError("note key must be a group element")
+        self.notes.append(Note(public_key=public_key))
+        return len(self.notes) - 1
+
+    def build_spend(
+        self, note_index: int, secret_key: int, receiver_key: int,
+        rng: secrets.SystemRandom | None = None,
+    ) -> SpendTx:
+        """Spend a note to ``receiver_key`` behind a decoy ring."""
+        if not 0 <= note_index < len(self.notes):
+            raise ValidationError("unknown note")
+        rng = rng or secrets.SystemRandom()
+        decoy_pool = [i for i in range(len(self.notes)) if i != note_index]
+        k = min(self.ring_size - 1, len(decoy_pool))
+        decoys = rng.sample(decoy_pool, k)
+        members = sorted(decoys + [note_index])
+        ring = tuple(self.notes[i].public_key for i in members)
+        output = Note(public_key=receiver_key)
+        message = f"spend|{ring!r}|{output.public_key}"
+        signature = LsagSignature.sign(
+            self.group, ring, members.index(note_index), secret_key, message
+        )
+        return SpendTx(ring=ring, signature=signature, output=output)
+
+    # -- validator side -----------------------------------------------------------
+
+    def verify_spend(self, spend: SpendTx) -> str | None:
+        """None when valid, else the rejection reason. The validator
+        learns only: some ring member paid, and the linking tag."""
+        known = {note.public_key for note in self.notes}
+        if not set(spend.ring) <= known:
+            return "unknown_ring_member"
+        if spend.signature.key_image in self.spent_key_images:
+            return "double_spend"
+        message = f"spend|{spend.ring!r}|{spend.output.public_key}"
+        if not spend.signature.verify(self.group, spend.ring, message):
+            return "invalid_ring_signature"
+        return None
+
+    def apply_spend(self, spend: SpendTx) -> int:
+        """Validate and commit: burn the key image, mint the output."""
+        reason = self.verify_spend(spend)
+        if reason is not None:
+            raise ValidationError(f"spend rejected: {reason}")
+        self.spent_key_images.add(spend.signature.key_image)
+        self.notes.append(spend.output)
+        return len(self.notes) - 1

@@ -1,0 +1,270 @@
+"""Zero-knowledge proofs (paper section 2.3.2).
+
+"A zero-knowledge proof is a method by which one party (the prover) can
+prove to another party (the verifier) that they know a value x, without
+conveying any information apart from the fact that they know the
+value x."
+
+Real sigma-protocol cryptography over the library's Schnorr group, made
+non-interactive with the Fiat–Shamir transform:
+
+* :class:`SchnorrProof` — knowledge of a discrete log (authorization).
+* :class:`OpeningProof` — knowledge of a Pedersen commitment's opening.
+* :class:`BitProof` — a commitment hides 0 or 1 (a CDS OR-proof).
+* :class:`RangeProof` — a committed value lies in ``[0, 2^bits)``, by
+  bit decomposition; with the homomorphic conservation check this gives
+  Quorum's three private-transfer guarantees (authorized, no
+  double-spend/overdraft, mass conservation) without revealing amounts.
+
+The group is 1024-bit (see ``repro.crypto.group``), far below modern
+deployment sizes but honestly asymmetric — proof generation and
+verification costs scale exactly as the real constructions do.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.common.errors import CryptoError
+from repro.crypto.commitments import PedersenCommitment, PedersenParams
+from repro.crypto.group import SchnorrGroup
+
+
+@dataclass(frozen=True)
+class SchnorrProof:
+    """NIZK proof of knowledge of ``x`` with ``y = g^x``."""
+
+    commitment: int  # t = g^r
+    response: int  # s = r + c*x
+
+    @staticmethod
+    def prove(group: SchnorrGroup, x: int, context: str = "") -> "SchnorrProof":
+        r = secrets.randbelow(group.q)
+        t = group.exp(group.g, r)
+        y = group.exp(group.g, x)
+        c = group.hash_to_exponent(t, y, context)
+        return SchnorrProof(commitment=t, response=(r + c * x) % group.q)
+
+    def verify(self, group: SchnorrGroup, y: int, context: str = "") -> bool:
+        if not group.is_element(y) or not group.is_element(self.commitment):
+            return False
+        c = group.hash_to_exponent(self.commitment, y, context)
+        lhs = group.exp(group.g, self.response)
+        rhs = group.mul(self.commitment, group.exp(y, c))
+        return lhs == rhs
+
+
+@dataclass(frozen=True)
+class OpeningProof:
+    """NIZK proof of knowledge of ``(v, r)`` with ``C = g^v h^r``."""
+
+    commitment: int  # t = g^a h^b
+    response_v: int  # s_v = a + c*v
+    response_r: int  # s_r = b + c*r
+
+    @staticmethod
+    def prove(
+        params: PedersenParams, value: int, blinding: int, context: str = ""
+    ) -> "OpeningProof":
+        group = params.group
+        a = secrets.randbelow(group.q)
+        b = secrets.randbelow(group.q)
+        t = group.mul(group.exp(params.g, a), group.exp(params.h, b))
+        point = params.commit(value, blinding).point
+        c = group.hash_to_exponent(t, point, context)
+        return OpeningProof(
+            commitment=t,
+            response_v=(a + c * value) % group.q,
+            response_r=(b + c * blinding) % group.q,
+        )
+
+    def verify(
+        self, params: PedersenParams, commitment: PedersenCommitment,
+        context: str = "",
+    ) -> bool:
+        group = params.group
+        c = group.hash_to_exponent(self.commitment, commitment.point, context)
+        lhs = group.mul(
+            group.exp(params.g, self.response_v),
+            group.exp(params.h, self.response_r),
+        )
+        rhs = group.mul(self.commitment, group.exp(commitment.point, c))
+        return lhs == rhs
+
+
+@dataclass(frozen=True)
+class EqualityProof:
+    """NIZK proof that two commitments hide the *same* value.
+
+    For ``C1 = g^v h^r1`` and ``C2 = g^v h^r2``, the quotient
+    ``C1 / C2 = h^(r1 - r2)`` is a commitment to zero; proving knowledge
+    of its discrete log w.r.t. ``h`` proves the values match. Used when
+    the same confidential quantity must appear consistently in two
+    places (e.g. an amount recorded by sender and receiver).
+    """
+
+    commitment: int  # t = h^a
+    response: int  # s = a + c * (r1 - r2)
+
+    @staticmethod
+    def prove(
+        params: PedersenParams, blinding1: int, blinding2: int,
+        c1: PedersenCommitment, c2: PedersenCommitment, context: str = "",
+    ) -> "EqualityProof":
+        group = params.group
+        delta = (blinding1 - blinding2) % group.q
+        a = secrets.randbelow(group.q)
+        t = group.exp(params.h, a)
+        c = group.hash_to_exponent(t, c1.point, c2.point, context)
+        return EqualityProof(
+            commitment=t, response=(a + c * delta) % group.q
+        )
+
+    def verify(
+        self, params: PedersenParams, c1: PedersenCommitment,
+        c2: PedersenCommitment, context: str = "",
+    ) -> bool:
+        group = params.group
+        c = group.hash_to_exponent(self.commitment, c1.point, c2.point, context)
+        quotient = group.mul(c1.point, group.inv(c2.point))
+        lhs = group.exp(params.h, self.response)
+        rhs = group.mul(self.commitment, group.exp(quotient, c))
+        return lhs == rhs
+
+
+@dataclass(frozen=True)
+class BitProof:
+    """CDS OR-proof: the commitment hides 0 **or** 1, hiding which.
+
+    For ``C = g^b h^r`` the prover shows knowledge of ``r`` such that
+    either ``C = h^r`` (b = 0) or ``C / g = h^r`` (b = 1), simulating
+    the branch it cannot prove.
+    """
+
+    t0: int
+    t1: int
+    c0: int
+    c1: int
+    s0: int
+    s1: int
+
+    @staticmethod
+    def prove(
+        params: PedersenParams, bit: int, blinding: int, context: str = ""
+    ) -> "BitProof":
+        if bit not in (0, 1):
+            raise CryptoError(f"BitProof requires bit in {{0, 1}}, got {bit}")
+        group = params.group
+        point = params.commit(bit, blinding).point
+        # Statement bases: y0 = C (proves C = h^r), y1 = C/g (proves C/g = h^r).
+        y0 = point
+        y1 = group.mul(point, group.inv(params.g))
+        if bit == 0:
+            # Real proof on branch 0, simulate branch 1.
+            c1 = secrets.randbelow(group.q)
+            s1 = secrets.randbelow(group.q)
+            t1 = group.mul(group.exp(params.h, s1), group.inv(group.exp(y1, c1)))
+            r0 = secrets.randbelow(group.q)
+            t0 = group.exp(params.h, r0)
+            c = group.hash_to_exponent(t0, t1, point, context)
+            c0 = (c - c1) % group.q
+            s0 = (r0 + c0 * blinding) % group.q
+        else:
+            c0 = secrets.randbelow(group.q)
+            s0 = secrets.randbelow(group.q)
+            t0 = group.mul(group.exp(params.h, s0), group.inv(group.exp(y0, c0)))
+            r1 = secrets.randbelow(group.q)
+            t1 = group.exp(params.h, r1)
+            c = group.hash_to_exponent(t0, t1, point, context)
+            c1 = (c - c0) % group.q
+            s1 = (r1 + c1 * blinding) % group.q
+        return BitProof(t0=t0, t1=t1, c0=c0, c1=c1, s0=s0, s1=s1)
+
+    def verify(
+        self, params: PedersenParams, commitment: PedersenCommitment,
+        context: str = "",
+    ) -> bool:
+        group = params.group
+        point = commitment.point
+        c = group.hash_to_exponent(self.t0, self.t1, point, context)
+        if (self.c0 + self.c1) % group.q != c:
+            return False
+        y0 = point
+        y1 = group.mul(point, group.inv(params.g))
+        ok0 = group.exp(params.h, self.s0) == group.mul(
+            self.t0, group.exp(y0, self.c0)
+        )
+        ok1 = group.exp(params.h, self.s1) == group.mul(
+            self.t1, group.exp(y1, self.c1)
+        )
+        return ok0 and ok1
+
+
+@dataclass(frozen=True)
+class RangeProof:
+    """Bit-decomposition range proof: committed value in ``[0, 2^bits)``.
+
+    The prover commits to each bit, proves every bit commitment hides
+    0/1, and the verifier homomorphically checks that the weighted
+    product of bit commitments equals the value commitment. Proof size
+    and cost are linear in ``bits`` — the "considerable overhead" the
+    Discussion paragraph attributes to ZKP-based verifiability is real
+    and measured by benchmark E5.
+    """
+
+    bit_commitments: tuple[int, ...]
+    bit_proofs: tuple[BitProof, ...]
+
+    @staticmethod
+    def prove(
+        params: PedersenParams, value: int, blinding: int, bits: int = 16,
+        context: str = "",
+    ) -> "RangeProof":
+        if not 0 <= value < (1 << bits):
+            raise CryptoError(f"value {value} out of range [0, 2^{bits})")
+        group = params.group
+        bit_values = [(value >> i) & 1 for i in range(bits)]
+        # Blindings must satisfy sum(r_i * 2^i) = blinding (mod q) so the
+        # homomorphic product matches the value commitment exactly.
+        blindings = [secrets.randbelow(group.q) for _ in range(bits - 1)]
+        acc = sum(r << (i + 1) for i, r in enumerate(blindings)) % group.q
+        r0 = (blinding - acc) % group.q
+        blindings = [r0] + blindings
+        commitments = []
+        proofs = []
+        for i in range(bits):
+            point = params.commit(bit_values[i], blindings[i]).point
+            commitments.append(point)
+            proofs.append(
+                BitProof.prove(
+                    params, bit_values[i], blindings[i], context=f"{context}|bit{i}"
+                )
+            )
+        return RangeProof(
+            bit_commitments=tuple(commitments), bit_proofs=tuple(proofs)
+        )
+
+    @property
+    def bits(self) -> int:
+        return len(self.bit_commitments)
+
+    def verify(
+        self, params: PedersenParams, commitment: PedersenCommitment,
+        context: str = "",
+    ) -> bool:
+        group = params.group
+        if len(self.bit_commitments) != len(self.bit_proofs):
+            return False
+        # Each bit commitment hides 0 or 1.
+        for i, (point, proof) in enumerate(
+            zip(self.bit_commitments, self.bit_proofs)
+        ):
+            wrapped = PedersenCommitment(params=params, point=point)
+            if not proof.verify(params, wrapped, context=f"{context}|bit{i}"):
+                return False
+        # The weighted product reassembles the value commitment.
+        product = 1
+        for i, point in enumerate(self.bit_commitments):
+            product = group.mul(product, group.exp(point, 1 << i))
+        return product == commitment.point

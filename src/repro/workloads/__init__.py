@@ -1,0 +1,26 @@
+"""Synthetic workload generators.
+
+The tutorial motivates permissioned blockchains with financial
+applications, supply chains, large-scale databases and crowdworking
+(section 2.1). The generators here expose exactly the knobs those
+motivations turn on: key skew (contention), read/write mix,
+cross-enterprise ratio, cross-shard ratio, and constraint pressure.
+"""
+
+from repro.workloads.kv import KvWorkload, ZipfSampler
+from repro.workloads.smallbank import SmallBankWorkload, smallbank_registry
+from repro.workloads.supply_chain import SupplyChainWorkload, supply_chain_registry
+from repro.workloads.crowdworking import CrowdworkWorkload
+from repro.workloads.ycsb import ycsb, profiles as ycsb_profiles
+
+__all__ = [
+    "CrowdworkWorkload",
+    "KvWorkload",
+    "SmallBankWorkload",
+    "SupplyChainWorkload",
+    "ZipfSampler",
+    "smallbank_registry",
+    "supply_chain_registry",
+    "ycsb",
+    "ycsb_profiles",
+]

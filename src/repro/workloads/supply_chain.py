@@ -1,0 +1,162 @@
+"""Multi-enterprise supply-chain workload (paper section 2.1.1).
+
+Enterprises (supplier, manufacturer, carrier, retailer, ...) run
+*internal* transactions on their own confidential state (production
+steps, inventory adjustments) and *cross-enterprise* transactions
+(shipments, payments) that every participant must see. The
+``internal_fraction`` knob drives experiment E4/E9: Caper orders
+internal transactions locally, so its global-consensus load shrinks as
+the internal share grows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.types import Operation, OpType, Transaction, TxType
+from repro.execution.contracts import ContractContext, ContractRegistry
+
+
+def inventory_key(enterprise: str, item: str) -> str:
+    return f"inv:{enterprise}:{item}"
+
+
+def balance_key(enterprise: str) -> str:
+    return f"bal:{enterprise}"
+
+
+def _produce(ctx: ContractContext, enterprise: str, item: str, qty: int) -> int:
+    stock = ctx.get(inventory_key(enterprise, item), 0) + qty
+    ctx.put(inventory_key(enterprise, item), stock)
+    return stock
+
+
+def _consume(ctx: ContractContext, enterprise: str, item: str, qty: int) -> int:
+    stock = ctx.get(inventory_key(enterprise, item), 0)
+    ctx.require(stock >= qty, f"{enterprise} lacks {qty} x {item}")
+    ctx.put(inventory_key(enterprise, item), stock - qty)
+    return stock - qty
+
+
+def _ship(
+    ctx: ContractContext, src: str, dst: str, item: str, qty: int
+) -> int:
+    stock = ctx.get(inventory_key(src, item), 0)
+    ctx.require(stock >= qty, f"{src} cannot ship {qty} x {item}")
+    ctx.put(inventory_key(src, item), stock - qty)
+    ctx.put(inventory_key(dst, item), ctx.get(inventory_key(dst, item), 0) + qty)
+    return qty
+
+
+def _pay(ctx: ContractContext, src: str, dst: str, amount: int) -> int:
+    balance = ctx.get(balance_key(src), 0)
+    ctx.require(balance >= amount, f"{src} cannot pay {amount}")
+    ctx.put(balance_key(src), balance - amount)
+    ctx.put(balance_key(dst), ctx.get(balance_key(dst), 0) + amount)
+    return amount
+
+
+def _fund(ctx: ContractContext, enterprise: str, amount: int) -> int:
+    balance = ctx.get(balance_key(enterprise), 0) + amount
+    ctx.put(balance_key(enterprise), balance)
+    return balance
+
+
+def supply_chain_registry() -> ContractRegistry:
+    """Contracts for the supply-chain application."""
+    registry = ContractRegistry()
+    registry.register("produce", _produce)
+    registry.register("consume", _consume)
+    registry.register("ship", _ship)
+    registry.register("pay", _pay)
+    registry.register("fund", _fund)
+    return registry
+
+
+@dataclass
+class SupplyChainWorkload:
+    """Stream of internal and cross-enterprise supply-chain transactions."""
+
+    enterprises: list[str] = field(
+        default_factory=lambda: ["supplier", "manufacturer", "carrier", "retailer"]
+    )
+    items: int = 20
+    internal_fraction: float = 0.8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.enterprises) < 2:
+            raise ConfigError("need at least two enterprises")
+        if not 0 <= self.internal_fraction <= 1:
+            raise ConfigError("internal_fraction must be in [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    def setup_transactions(self) -> list[Transaction]:
+        """Initial funding and stock so shipments/payments succeed."""
+        txs = []
+        for enterprise in self.enterprises:
+            txs.append(self._internal_tx(
+                enterprise, "fund", (enterprise, 1_000_000),
+                (Operation(OpType.READ_WRITE, balance_key(enterprise)),),
+            ))
+            for item in range(self.items):
+                txs.append(self._internal_tx(
+                    enterprise, "produce", (enterprise, f"item{item}", 1000),
+                    (Operation(
+                        OpType.READ_WRITE, inventory_key(enterprise, f"item{item}")
+                    ),),
+                ))
+        return txs
+
+    def _internal_tx(
+        self, enterprise: str, contract: str, args: tuple,
+        ops: tuple[Operation, ...],
+    ) -> Transaction:
+        return Transaction.create(
+            contract,
+            args,
+            submitter=enterprise,
+            tx_type=TxType.INTERNAL,
+            declared_ops=ops,
+            involved={enterprise},
+        )
+
+    def next_tx(self) -> Transaction:
+        if self._rng.random() < self.internal_fraction:
+            enterprise = self._rng.choice(self.enterprises)
+            item = f"item{self._rng.randrange(self.items)}"
+            contract = self._rng.choice(["produce", "consume"])
+            qty = self._rng.randrange(1, 5)
+            return self._internal_tx(
+                enterprise, contract, (enterprise, item, qty),
+                (Operation(OpType.READ_WRITE, inventory_key(enterprise, item)),),
+            )
+        src, dst = self._rng.sample(self.enterprises, 2)
+        if self._rng.random() < 0.5:
+            item = f"item{self._rng.randrange(self.items)}"
+            qty = self._rng.randrange(1, 5)
+            ops = (
+                Operation(OpType.READ_WRITE, inventory_key(src, item)),
+                Operation(OpType.READ_WRITE, inventory_key(dst, item)),
+            )
+            contract, args = "ship", (src, dst, item, qty)
+        else:
+            amount = self._rng.randrange(1, 100)
+            ops = (
+                Operation(OpType.READ_WRITE, balance_key(src)),
+                Operation(OpType.READ_WRITE, balance_key(dst)),
+            )
+            contract, args = "pay", (src, dst, amount)
+        return Transaction.create(
+            contract,
+            args,
+            submitter=src,
+            tx_type=TxType.CROSS_ENTERPRISE,
+            declared_ops=ops,
+            involved={src, dst},
+        )
+
+    def generate(self, count: int) -> list[Transaction]:
+        return [self.next_tx() for _ in range(count)]

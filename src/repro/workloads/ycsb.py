@@ -1,0 +1,65 @@
+"""The standard YCSB workload profiles as named presets.
+
+The Fabric-family papers the tutorial surveys (FastFabric, Fabric++,
+FabricSharp) all evaluate on YCSB-style mixes; these presets pin the
+canonical profiles onto :class:`~repro.workloads.kv.KvWorkload` so a
+benchmark can say ``ycsb("a", theta=0.9)`` and mean the same thing the
+literature does.
+
+=======  =======================  ======================
+profile  mix                      canonical description
+=======  =======================  ======================
+a        50% read / 50% update    update heavy
+b        95% read / 5% update     read mostly
+c        100% read                read only
+f        50% read / 50% RMW       read-modify-write
+=======  =======================  ======================
+
+(Profiles d and e involve inserts-with-recency and scans, which a plain
+key-value contract model does not distinguish; they are intentionally
+omitted rather than approximated silently.)
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigError
+from repro.workloads.kv import KvWorkload
+
+#: profile -> (read_fraction, rmw_fraction-among-writes)
+_PROFILES = {
+    "a": (0.50, 0.0),  # updates are blind writes
+    "b": (0.95, 0.0),
+    "c": (1.00, 0.0),
+    "f": (0.50, 1.0),  # all writes are read-modify-writes
+}
+
+
+def ycsb(
+    profile: str,
+    n_keys: int = 10_000,
+    theta: float = 0.99,
+    seed: int = 0,
+) -> KvWorkload:
+    """A :class:`KvWorkload` configured as YCSB profile ``profile``.
+
+    ``theta`` defaults to YCSB's canonical Zipfian constant 0.99.
+    """
+    try:
+        read_fraction, rmw_fraction = _PROFILES[profile.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown YCSB profile {profile!r}; choose from "
+            f"{sorted(_PROFILES)} (d/e need scans, deliberately unsupported)"
+        ) from None
+    return KvWorkload(
+        n_keys=n_keys,
+        theta=theta,
+        read_fraction=read_fraction,
+        rmw_fraction=rmw_fraction,
+        seed=seed,
+    )
+
+
+def profiles() -> list[str]:
+    """The supported profile names."""
+    return sorted(_PROFILES)

@@ -1,0 +1,149 @@
+"""Integration tests for the three motivating applications (section 2.1)."""
+
+import pytest
+
+from repro.apps import (
+    CrowdworkingDeployment,
+    ShardedBankDatabase,
+    Sla,
+    SupplyChainConsortium,
+)
+from repro.common.errors import ConfigError
+from repro.workloads.crowdworking import WorkClaim
+
+
+class TestSupplyChainApp:
+    def _consortium(self):
+        sla = Sla(
+            supplier="supplier", consumer="manufacturer", item="widget",
+            min_shipments=10, price_per_unit=5,
+        )
+        return SupplyChainConsortium(
+            ["supplier", "manufacturer"], slas=[sla]
+        ), sla
+
+    def test_conformant_process_passes_sla_check(self):
+        consortium, _ = self._consortium()
+        consortium.fund("manufacturer", 1000)
+        consortium.internal_step("supplier", "produce", "widget", 100)
+        consortium.ship("supplier", "manufacturer", "widget", 12)
+        consortium.pay("manufacturer", "supplier", 60)
+        consortium.run()
+        report = consortium.check_all_slas()[0]
+        assert report.conformant
+        assert report.units_shipped == 12
+
+    def test_under_shipping_is_flagged(self):
+        consortium, _ = self._consortium()
+        consortium.internal_step("supplier", "produce", "widget", 100)
+        consortium.ship("supplier", "manufacturer", "widget", 3)
+        consortium.run()
+        report = consortium.check_all_slas()[0]
+        assert not report.conformant
+        assert any("units shipped" in v for v in report.violations)
+
+    def test_non_payment_is_flagged(self):
+        consortium, _ = self._consortium()
+        consortium.internal_step("supplier", "produce", "widget", 100)
+        consortium.ship("supplier", "manufacturer", "widget", 15)
+        consortium.run()
+        report = consortium.check_all_slas()[0]
+        assert any("paid" in v for v in report.violations)
+
+    def test_internal_steps_stay_confidential(self):
+        consortium, _ = self._consortium()
+        secret = consortium.internal_step("supplier", "produce", "widget", 100)
+        consortium.ship("supplier", "manufacturer", "widget", 1)
+        consortium.run()
+        manufacturer_view = consortium.system.view("manufacturer")
+        assert all(v.tx.tx_id != secret.tx_id for v in manufacturer_view)
+
+    def test_sla_check_needs_no_private_data(self):
+        """The check runs on the cross-enterprise spine, identical in
+        both parties' views."""
+        consortium, sla = self._consortium()
+        consortium.fund("manufacturer", 500)
+        consortium.internal_step("supplier", "produce", "widget", 100)
+        consortium.ship("supplier", "manufacturer", "widget", 11)
+        consortium.pay("manufacturer", "supplier", 55)
+        consortium.run()
+        report = consortium.check_sla(sla)
+        assert report.conformant
+
+
+class TestCrowdworkingApp:
+    def _deployment(self):
+        deployment = CrowdworkingDeployment(
+            ["p0", "p1", "p2"], ["w0", "w1", "w2"]
+        )
+        deployment.issue_week(0)
+        return deployment
+
+    def test_claims_within_cap_commit(self):
+        deployment = self._deployment()
+        assert deployment.submit_claim(WorkClaim("w0", "p0", "t", 20, 0))
+        result = deployment.run()
+        assert result.committed == 1
+        assert deployment.hours_worked("w0") == 20
+
+    def test_cap_binds_across_platforms(self):
+        """The FLSA example: 30h on Uber + 15h on Lyft exceeds 40h and
+        is refused even though each platform alone sees < 40h."""
+        deployment = self._deployment()
+        assert deployment.submit_claim(WorkClaim("w0", "p0", "uber", 30, 0))
+        assert not deployment.submit_claim(WorkClaim("w0", "p1", "lyft", 15, 0))
+        deployment.run()
+        assert deployment.hours_worked("w0") == 30
+        assert deployment.flsa_compliant()
+
+    def test_healthcare_threshold_provable_across_platforms(self):
+        deployment = self._deployment()
+        deployment.submit_claim(WorkClaim("w1", "p0", "a", 15, 0))
+        deployment.submit_claim(WorkClaim("w1", "p2", "b", 12, 0))
+        deployment.run()
+        assert deployment.qualifies_for_healthcare("w1")  # 27 >= 25
+        assert not deployment.qualifies_for_healthcare("w2")
+
+    def test_no_worker_identity_reaches_the_ledger(self):
+        deployment = self._deployment()
+        deployment.submit_claim(WorkClaim("w0", "p0", "t", 5, 0))
+        deployment.run()
+        for pseudonym in deployment.system.ledger_identifiers():
+            assert "w0" not in pseudonym
+
+
+class TestShardedDatabaseApp:
+    def test_load_and_run_conserves_deposits(self):
+        db = ShardedBankDatabase(
+            backend="sharper", n_shards=4, n_customers=100, seed=1
+        )
+        db.load()
+        db.run()
+        assert db.total_balance() == 100 * db.workload.initial_balance
+
+    @pytest.mark.parametrize("backend", ["sharper", "ahl", "resilientdb", "saguaro"])
+    def test_every_backend_processes_the_bank(self, backend):
+        db = ShardedBankDatabase(
+            backend=backend, n_shards=4, n_customers=80, seed=2
+        )
+        db.load()
+        db.submit_transactions(40)
+        result = db.run()
+        assert result.committed >= 80  # at least the deposits
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            ShardedBankDatabase(backend="mysql")
+
+    def test_submit_before_load_rejected(self):
+        db = ShardedBankDatabase(seed=3)
+        with pytest.raises(ConfigError):
+            db.submit_transactions(10)
+
+    def test_committed_transactions_iterates_ledgers(self):
+        db = ShardedBankDatabase(
+            backend="sharper", n_shards=2, n_customers=20, seed=4
+        )
+        db.load()
+        result = db.run()
+        assert sum(1 for _ in db.committed_transactions()) == result.committed

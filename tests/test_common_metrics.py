@@ -1,0 +1,87 @@
+"""Unit tests for metrics collection."""
+
+import pytest
+
+from repro.common.metrics import LatencyRecorder, MetricsRegistry, RunResult
+
+
+class TestMetricsRegistry:
+    def test_incr_creates_and_accumulates(self):
+        metrics = MetricsRegistry()
+        metrics.incr("a.b")
+        metrics.incr("a.b", 2)
+        assert metrics.get("a.b") == 3
+
+    def test_get_unknown_is_zero(self):
+        assert MetricsRegistry().get("nope") == 0.0
+
+    def test_by_prefix_filters(self):
+        metrics = MetricsRegistry()
+        metrics.incr("net.messages")
+        metrics.incr("net.bytes", 100)
+        metrics.incr("exec.time", 5)
+        assert set(metrics.by_prefix("net.")) == {"net.messages", "net.bytes"}
+
+    def test_total_sums_prefix(self):
+        metrics = MetricsRegistry()
+        metrics.incr("abort.mvcc", 3)
+        metrics.incr("abort.lock", 2)
+        assert metrics.total("abort.") == 5
+
+    def test_reset_clears(self):
+        metrics = MetricsRegistry()
+        metrics.incr("x")
+        metrics.reset()
+        assert metrics.get("x") == 0
+
+
+class TestLatencyRecorder:
+    def test_mean_of_samples(self):
+        rec = LatencyRecorder()
+        rec.extend([1.0, 2.0, 3.0])
+        assert rec.mean() == pytest.approx(2.0)
+
+    def test_empty_recorder_reports_zero(self):
+        rec = LatencyRecorder()
+        assert rec.mean() == 0.0
+        assert rec.p50() == 0.0
+        assert rec.p99() == 0.0
+
+    def test_percentile_nearest_rank(self):
+        rec = LatencyRecorder()
+        rec.extend(float(i) for i in range(1, 101))
+        assert rec.percentile(50) == 50.0
+        assert rec.percentile(99) == 99.0
+        assert rec.percentile(100) == 100.0
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-1.0)
+
+    def test_percentile_range_validated(self):
+        rec = LatencyRecorder()
+        rec.record(1.0)
+        with pytest.raises(ValueError):
+            rec.percentile(101)
+
+
+class TestRunResult:
+    def test_throughput_is_committed_over_duration(self):
+        result = RunResult(system="x", committed=100, duration=2.0)
+        assert result.throughput == pytest.approx(50.0)
+
+    def test_zero_duration_throughput_is_zero(self):
+        assert RunResult(system="x", committed=5).throughput == 0.0
+
+    def test_abort_rate(self):
+        result = RunResult(system="x", committed=75, aborted=25)
+        assert result.abort_rate == pytest.approx(0.25)
+
+    def test_abort_rate_with_nothing_submitted(self):
+        assert RunResult(system="x").abort_rate == 0.0
+
+    def test_to_row_contains_key_fields(self):
+        row = RunResult(system="x", committed=1, duration=1.0).to_row()
+        assert row["system"] == "x"
+        assert "throughput_tps" in row
+        assert "abort_rate" in row

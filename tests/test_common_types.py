@@ -1,0 +1,83 @@
+"""Unit tests for the shared domain types."""
+
+import pytest
+
+from repro.common.types import Operation, OpType, Transaction, TxType
+
+
+class TestOpType:
+    def test_read_reads(self):
+        assert OpType.READ.reads
+        assert not OpType.READ.writes
+
+    def test_write_writes(self):
+        assert OpType.WRITE.writes
+        assert not OpType.WRITE.reads
+
+    def test_read_write_does_both(self):
+        assert OpType.READ_WRITE.reads
+        assert OpType.READ_WRITE.writes
+
+
+class TestTransaction:
+    def test_create_assigns_unique_ids(self):
+        a = Transaction.create("kv_set", ("k", 1))
+        b = Transaction.create("kv_set", ("k", 1))
+        assert a.tx_id != b.tx_id
+
+    def test_create_preserves_fields(self):
+        tx = Transaction.create(
+            "transfer", ("a", "b", 5), submitter="alice",
+            tx_type=TxType.CROSS_SHARD, involved={"s1", "s2"},
+        )
+        assert tx.contract == "transfer"
+        assert tx.args == ("a", "b", 5)
+        assert tx.submitter == "alice"
+        assert tx.tx_type is TxType.CROSS_SHARD
+        assert tx.involved == frozenset({"s1", "s2"})
+
+    def test_read_and_write_keys_from_declared_ops(self):
+        tx = Transaction.create(
+            "x",
+            declared_ops=(
+                Operation(OpType.READ, "r"),
+                Operation(OpType.WRITE, "w"),
+                Operation(OpType.READ_WRITE, "rw"),
+            ),
+        )
+        assert tx.read_keys == {"r", "rw"}
+        assert tx.write_keys == {"w", "rw"}
+
+    def test_conflicts_when_write_overlaps_read(self):
+        writer = Transaction.create(
+            "x", declared_ops=(Operation(OpType.WRITE, "k"),)
+        )
+        reader = Transaction.create(
+            "y", declared_ops=(Operation(OpType.READ, "k"),)
+        )
+        assert writer.conflicts_with(reader)
+        assert reader.conflicts_with(writer)
+
+    def test_no_conflict_between_two_readers(self):
+        a = Transaction.create("x", declared_ops=(Operation(OpType.READ, "k"),))
+        b = Transaction.create("y", declared_ops=(Operation(OpType.READ, "k"),))
+        assert not a.conflicts_with(b)
+
+    def test_no_conflict_on_disjoint_keys(self):
+        a = Transaction.create("x", declared_ops=(Operation(OpType.WRITE, "a"),))
+        b = Transaction.create("y", declared_ops=(Operation(OpType.WRITE, "b"),))
+        assert not a.conflicts_with(b)
+
+    def test_digest_is_stable(self):
+        tx = Transaction.create("kv_set", ("k", 1))
+        assert tx.digest() == tx.digest()
+
+    def test_digest_differs_across_transactions(self):
+        a = Transaction.create("kv_set", ("k", 1))
+        b = Transaction.create("kv_set", ("k", 2))
+        assert a.digest() != b.digest()
+
+    def test_transaction_is_immutable(self):
+        tx = Transaction.create("kv_set", ("k", 1))
+        with pytest.raises(AttributeError):
+            tx.contract = "other"

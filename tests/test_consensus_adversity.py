@@ -1,0 +1,111 @@
+"""Consensus under network adversity: loss, partitions, recovery.
+
+The paper's model (section 2.2) is "an asynchronous large distributed
+system" — these tests exercise exactly the conditions asynchrony brings:
+dropped messages, network splits, and healing.
+"""
+
+import pytest
+
+from repro.consensus import PROTOCOLS, ConsensusCluster
+from repro.consensus.pbft import PbftReplica
+from repro.consensus.raft import RaftReplica
+
+LOSSY = sorted(PROTOCOLS)
+
+
+@pytest.mark.parametrize("name", LOSSY)
+def test_progress_under_message_loss(name):
+    """10% message loss slows but must not break any protocol (clients
+    rebroadcast, timers retry)."""
+    cls, byzantine = PROTOCOLS[name]
+    n = 4 if byzantine else 3
+    cluster = ConsensusCluster(cls, n=n, byzantine=byzantine, seed=77)
+    cluster.network.drop_probability = 0.10
+    for i in range(5):
+        cluster.submit(f"{name}-lossy-{i}")
+    assert cluster.run_until_decided(5, timeout=240)
+    assert cluster.agreement_holds()
+
+
+class TestPartitions:
+    def test_minority_partition_cannot_decide(self):
+        """A Byzantine-quorum protocol split 2/2 at n=4 has no quorum on
+        either side: safety demands it stalls rather than forks."""
+        cluster = ConsensusCluster(PbftReplica, n=4, seed=78)
+        cluster.network.partition([["r0", "r1"], ["r2", "r3"]])
+        cluster.submit("split-brain-probe", via="r0")
+        assert not cluster.run_until_decided(1, timeout=8)
+        assert cluster.agreement_holds()
+
+    def test_majority_side_keeps_deciding(self):
+        cluster = ConsensusCluster(PbftReplica, n=4, seed=79)
+        cluster.network.partition([["r0", "r1", "r2"], ["r3"]])
+        cluster.submit("majority-side", via="r0")
+        cluster.sim.run(until=cluster.sim.now + 30)
+        # The quorum-holding side decides; the isolated replica decides
+        # nothing — but no log ever diverges.
+        for rid in ("r0", "r1", "r2"):
+            assert cluster.replicas[rid].decided == ["majority-side"]
+        assert cluster.replicas["r3"].decided == []
+        assert cluster.agreement_holds()
+
+    def test_heal_lets_the_laggard_catch_up(self):
+        cluster = ConsensusCluster(RaftReplica, n=3, byzantine=False, seed=80)
+        for i in range(3):
+            cluster.submit(f"pre-{i}")
+        assert cluster.run_until_decided(3, timeout=30)
+        cluster.network.partition([["r0", "r1"], ["r2"]])
+        for i in range(3):
+            cluster.submit(f"during-{i}", via="r0")
+        cluster.sim.run(until=cluster.sim.now + 10)
+        cluster.network.heal()
+        # After healing, heartbeats replicate the missed entries.
+        assert cluster.run_until_decided(6, timeout=120)
+        logs = [tuple(r.decided) for r in cluster.replicas.values()]
+        assert len(set(logs)) == 1
+
+    def test_no_fork_across_a_raft_partition(self):
+        """The leader stranded in a minority partition must not commit;
+        the majority elects a new leader and moves on; after healing the
+        stranded log is overwritten, never merged divergently."""
+        cluster = ConsensusCluster(RaftReplica, n=5, byzantine=False, seed=81)
+        cluster.submit("stable")
+        assert cluster.run_until_decided(1, timeout=30)
+        from repro.consensus.raft import Role
+
+        leader_id = next(
+            rid for rid, r in cluster.replicas.items()
+            if r.role is Role.LEADER
+        )
+        others = [rid for rid in cluster.replicas if rid != leader_id]
+        cluster.network.partition([[leader_id, others[0]], others[1:]])
+        cluster.submit("minority-write", via=leader_id)
+        cluster.submit("majority-write", via=others[1])
+        cluster.sim.run(until=cluster.sim.now + 20)
+        cluster.network.heal()
+        assert cluster.run_until_decided(3, timeout=120)
+        logs = [tuple(r.decided) for r in cluster.replicas.values()]
+        assert len(set(logs)) == 1
+        assert "majority-write" in logs[0]
+        assert "minority-write" in logs[0]  # re-proposed after healing
+
+
+class TestCrashRecovery:
+    def test_recovered_raft_follower_rejoins(self):
+        cluster = ConsensusCluster(RaftReplica, n=3, byzantine=False, seed=82)
+        cluster.submit("a")
+        assert cluster.run_until_decided(1, timeout=30)
+        cluster.replicas["r2"].crash()
+        cluster.submit("b", via="r0")
+        assert cluster.run_until_decided(2, timeout=60)
+        cluster.replicas["r2"].recover()
+        cluster.submit("c", via="r0")
+        # All three — including the recovered one — reach 3 decisions.
+        deadline = cluster.sim.now + 60
+        while cluster.sim.now < deadline:
+            if all(len(r.decided) >= 3 for r in cluster.replicas.values()):
+                break
+            cluster.sim.run(until=cluster.sim.now + 0.5)
+        assert all(len(r.decided) >= 3 for r in cluster.replicas.values())
+        assert cluster.agreement_holds()

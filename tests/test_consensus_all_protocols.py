@@ -1,0 +1,150 @@
+"""Protocol-agnostic consensus tests, parametrized over all six protocols.
+
+These are the contract every ordering protocol must honour: agreement,
+total order, liveness under the tolerated number of crash faults, and
+deterministic replay.
+"""
+
+import pytest
+
+from repro.consensus import PROTOCOLS, ConsensusCluster
+
+ALL = sorted(PROTOCOLS)
+BYZANTINE = sorted(name for name, (_, byz) in PROTOCOLS.items() if byz)
+CRASH_ONLY = sorted(name for name, (_, byz) in PROTOCOLS.items() if not byz)
+
+
+def make_cluster(name, n=4, seed=0, **kwargs):
+    cls, byzantine = PROTOCOLS[name]
+    if not byzantine and n == 4:
+        n = 3  # natural crash-cluster size
+    return ConsensusCluster(cls, n=n, byzantine=byzantine, seed=seed, **kwargs)
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestAllProtocols:
+    def test_all_replicas_decide_all_values(self, name):
+        cluster = make_cluster(name, seed=10)
+        for i in range(10):
+            cluster.submit(f"{name}-v{i}")
+        assert cluster.run_until_decided(10, timeout=60)
+        for replica in cluster.replicas.values():
+            assert len(replica.decided) == 10
+
+    def test_agreement_identical_logs(self, name):
+        cluster = make_cluster(name, seed=11)
+        for i in range(8):
+            cluster.submit(f"{name}-a{i}")
+        assert cluster.run_until_decided(8, timeout=60)
+        logs = [tuple(r.decided) for r in cluster.replicas.values()]
+        assert len(set(logs)) == 1
+
+    def test_every_submitted_value_appears_exactly_once(self, name):
+        cluster = make_cluster(name, seed=12)
+        values = [f"{name}-u{i}" for i in range(6)]
+        for value in values:
+            cluster.submit(value)
+        assert cluster.run_until_decided(6, timeout=60)
+        log = next(iter(cluster.replicas.values())).decided
+        assert sorted(log) == sorted(values)
+
+    def test_survives_one_follower_crash(self, name):
+        cluster = make_cluster(name, seed=13)
+        # Crash a replica that is NOT the initial leader.
+        victim = cluster.config.replica_ids[-1]
+        cluster.replicas[victim].crash()
+        for i in range(5):
+            cluster.submit(f"{name}-c{i}", via=cluster.config.replica_ids[0])
+        assert cluster.run_until_decided(5, timeout=90)
+        assert cluster.agreement_holds()
+
+    def test_survives_initial_leader_crash(self, name):
+        cluster = make_cluster(name, seed=14)
+        cluster.replicas[cluster.config.replica_ids[0]].crash()
+        cluster.submit(f"{name}-x", via=cluster.config.replica_ids[1])
+        assert cluster.run_until_decided(1, timeout=120)
+        assert cluster.agreement_holds()
+
+    def test_deterministic_replay(self, name):
+        def run(seed):
+            cluster = make_cluster(name, seed=seed)
+            for i in range(5):
+                cluster.submit(f"{name}-d{i}")
+            cluster.run_until_decided(5, timeout=60)
+            return (
+                tuple(next(iter(cluster.replicas.values())).decided),
+                cluster.message_count(),
+            )
+
+        assert run(42) == run(42)
+
+    def test_decision_latency_is_positive(self, name):
+        cluster = make_cluster(name, seed=15)
+        cluster.submit(f"{name}-lat")
+        assert cluster.run_until_decided(1, timeout=60)
+        assert cluster.decision_latency(0) > 0
+
+
+@pytest.mark.parametrize("name", BYZANTINE)
+def test_byzantine_protocols_scale_to_n7(name):
+    cluster = make_cluster(name, n=7, seed=16)
+    for i in range(5):
+        cluster.submit(f"{name}-s{i}")
+    assert cluster.run_until_decided(5, timeout=90)
+    assert cluster.agreement_holds()
+
+
+@pytest.mark.parametrize("name", BYZANTINE)
+def test_byzantine_protocols_survive_f_crashes_at_n7(name):
+    cluster = make_cluster(name, n=7, seed=17)
+    cluster.replicas["r1"].crash()
+    cluster.replicas["r4"].crash()
+    for i in range(4):
+        cluster.submit(f"{name}-f{i}", via="r0")
+    assert cluster.run_until_decided(4, timeout=180)
+    assert cluster.agreement_holds()
+
+
+@pytest.mark.parametrize("name", CRASH_ONLY)
+def test_crash_protocols_survive_two_crashes_at_n5(name):
+    cluster = make_cluster(name, n=5, seed=18)
+    for i in range(3):
+        cluster.submit(f"{name}-p{i}")
+    assert cluster.run_until_decided(3, timeout=60)
+    cluster.replicas["r0"].crash()
+    cluster.replicas["r4"].crash()
+    for i in range(3, 6):
+        cluster.submit(f"{name}-p{i}", via="r1")
+    assert cluster.run_until_decided(6, timeout=120)
+    assert cluster.agreement_holds()
+
+
+def test_byzantine_cluster_size_validation():
+    from repro.common.errors import ConfigError
+    from repro.consensus.pbft import PbftReplica
+
+    with pytest.raises(ConfigError):
+        ConsensusCluster(PbftReplica, n=3, byzantine=True)
+
+
+def test_quorum_sizes_match_fault_models():
+    from repro.consensus.base import ClusterConfig
+
+    byz = ClusterConfig(replica_ids=[f"r{i}" for i in range(7)], byzantine=True)
+    assert byz.f == 2 and byz.quorum == 5
+    crash = ClusterConfig(
+        replica_ids=[f"r{i}" for i in range(7)], byzantine=False
+    )
+    assert crash.f == 3 and crash.quorum == 4
+
+
+def test_trusted_hardware_halves_quorum():
+    from repro.consensus.base import ClusterConfig
+
+    attested = ClusterConfig(
+        replica_ids=[f"r{i}" for i in range(5)],
+        byzantine=True,
+        trusted_hardware=True,
+    )
+    assert attested.f == 2  # 2f+1 = 5 instead of 3f+1 = 7
+    assert attested.quorum == 3

@@ -1,0 +1,92 @@
+"""Safety and liveness under the Byzantine attack catalogue."""
+
+import pytest
+
+from repro.consensus import ConsensusCluster
+from repro.consensus.attacks import (
+    DelayingPbftReplica,
+    SilentPbftLeader,
+    WithholdingPbftReplica,
+    attacker_factory,
+)
+from repro.consensus.pbft import EquivocatingPbftReplica
+
+
+def run_with_attacker(attack_cls, byzantine_ids, n=4, seed=0, values=3,
+                      via=None, timeout=120):
+    cluster = ConsensusCluster(
+        attacker_factory(attack_cls, set(byzantine_ids)), n=n, seed=seed
+    )
+    via = via or next(
+        rid for rid in cluster.config.replica_ids if rid not in byzantine_ids
+    )
+    for i in range(values):
+        cluster.submit(f"v{i}", via=via)
+    done = cluster.run_until_decided(values, timeout=timeout)
+    return cluster, done
+
+
+class TestSilentLeader:
+    def test_censoring_leader_is_rotated_out(self):
+        cluster, done = run_with_attacker(SilentPbftLeader, {"r0"}, seed=1)
+        assert done
+        assert cluster.agreement_holds()
+        # Correct replicas moved past the censor's view.
+        assert all(r.view >= 1 for r in cluster.correct_replicas())
+
+    def test_censoring_follower_is_harmless(self):
+        cluster, done = run_with_attacker(
+            SilentPbftLeader, {"r2"}, seed=2, via="r0"
+        )
+        assert done
+        assert cluster.agreement_holds()
+        # No view change needed: the leader was honest.
+        assert all(r.view == 0 for r in cluster.correct_replicas())
+
+
+class TestWithholding:
+    def test_one_withholder_within_f_is_tolerated(self):
+        cluster, done = run_with_attacker(
+            WithholdingPbftReplica, {"r3"}, seed=3
+        )
+        assert done
+        assert cluster.agreement_holds()
+
+    def test_two_withholders_beyond_f_block_progress(self):
+        cluster, done = run_with_attacker(
+            WithholdingPbftReplica, {"r2", "r3"}, seed=4, timeout=8
+        )
+        assert not done  # f = 1 at n = 4: two silent replicas exceed it
+        assert cluster.agreement_holds()  # but nothing diverges
+
+    def test_n7_tolerates_two_withholders(self):
+        cluster, done = run_with_attacker(
+            WithholdingPbftReplica, {"r5", "r6"}, n=7, seed=5
+        )
+        assert done
+        assert cluster.agreement_holds()
+
+
+class TestDelaying:
+    def test_slow_replica_does_not_block_consensus(self):
+        cluster, done = run_with_attacker(DelayingPbftReplica, {"r3"}, seed=6)
+        assert done
+        assert cluster.agreement_holds()
+
+    def test_slow_leader_still_makes_progress(self):
+        """A slow (but correct) leader either drives consensus late or is
+        view-changed away; either way values decide and logs agree."""
+        cluster, done = run_with_attacker(
+            DelayingPbftReplica, {"r0"}, seed=7, via="r1", timeout=180
+        )
+        assert done
+        assert cluster.agreement_holds()
+
+
+class TestEquivocation:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_never_diverges_across_seeds(self, seed):
+        cluster, _ = run_with_attacker(
+            EquivocatingPbftReplica, {"r0"}, seed=seed, via="r0", timeout=60
+        )
+        assert cluster.agreement_holds()

@@ -1,0 +1,82 @@
+"""Unit tests for the protocol-agnostic catch-up gossip."""
+
+from repro.consensus import ConsensusCluster
+from repro.consensus.base import DecidedProbe, DecidedRange
+from repro.consensus.pbft import PbftReplica
+from repro.consensus.raft import RaftReplica
+
+
+class TestCatchupMechanics:
+    def test_probe_answered_only_when_ahead(self):
+        cluster = ConsensusCluster(PbftReplica, n=4, seed=21)
+        for i in range(3):
+            cluster.submit(f"v{i}")
+        assert cluster.run_until_decided(3, timeout=30)
+        replica = cluster.replica("r0")
+        sent = []
+        replica.send = lambda dst, msg: sent.append((dst, msg))
+        # A peer claiming fewer decisions gets a range.
+        replica.deliver("r1", DecidedProbe(count=1, sender="r1"))
+        assert sent and isinstance(sent[0][1], DecidedRange)
+        assert sent[0][1].start == 1
+        assert sent[0][1].values == ("v1", "v2")
+        # A peer that is up to date gets nothing.
+        sent.clear()
+        replica.deliver("r1", DecidedProbe(count=3, sender="r1"))
+        assert not sent
+
+    def test_byzantine_threshold_requires_f_plus_one_vouchers(self):
+        cluster = ConsensusCluster(PbftReplica, n=4, seed=22)
+        replica = cluster.replica("r0")
+        lying = DecidedRange(start=0, values=("forged",), sender="r2")
+        replica.deliver("r2", lying)
+        assert replica.decided == []  # one voucher is not enough (f=1)
+        replica.deliver("r3", DecidedRange(start=0, values=("forged",),
+                                           sender="r3"))
+        assert replica.decided == ["forged"]  # f+1 distinct vouchers
+
+    def test_single_byzantine_voucher_cannot_poison(self):
+        cluster = ConsensusCluster(PbftReplica, n=4, seed=23)
+        replica = cluster.replica("r0")
+        # The same sender repeating itself never reaches the threshold.
+        for _ in range(5):
+            replica.deliver("r2", DecidedRange(start=0, values=("evil",),
+                                               sender="r2"))
+        assert replica.decided == []
+
+    def test_crash_model_accepts_single_voucher(self):
+        cluster = ConsensusCluster(RaftReplica, n=3, byzantine=False, seed=24)
+        replica = cluster.replica("r0")
+        replica.deliver("r1", DecidedRange(start=0, values=("x",), sender="r1"))
+        assert replica.decided == ["x"]  # crash-only peers do not lie
+
+    def test_idle_replica_does_not_probe(self):
+        cluster = ConsensusCluster(PbftReplica, n=4, seed=25)
+        for i in range(2):
+            cluster.submit(f"v{i}")
+        assert cluster.run_until_decided(2, timeout=30)
+        before = cluster.message_count()
+        cluster.sim.run(until=cluster.sim.now + 10)
+        # No pending requests anywhere: the catch-up gossip stays silent
+        # (a few straggler protocol messages may still drain).
+        assert cluster.message_count() - before < 10
+
+
+class TestCatchupEndToEnd:
+    def test_recovered_replica_catches_up_through_gossip(self):
+        cluster = ConsensusCluster(PbftReplica, n=4, seed=26)
+        cluster.replica("r3").crash()
+        for i in range(5):
+            cluster.submit(f"v{i}", via="r0")
+        assert cluster.run_until_decided(5, timeout=60)
+        assert len(cluster.replica("r3").decided) == 0
+        cluster.replica("r3").recover()
+        # Give r3 something pending so it starts probing.
+        cluster.submit("post-recovery", via="r3")
+        deadline = cluster.sim.now + 60
+        while cluster.sim.now < deadline:
+            if len(cluster.replica("r3").decided) >= 6:
+                break
+            cluster.sim.run(until=cluster.sim.now + 0.5)
+        assert len(cluster.replica("r3").decided) >= 6
+        assert cluster.agreement_holds()

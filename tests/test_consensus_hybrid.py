@@ -1,0 +1,82 @@
+"""Tests for the hybrid (SeeMoRe/UpRight-style) fault model."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.consensus import (
+    hybrid_cluster_size,
+    hybrid_quorum,
+    make_hybrid_cluster,
+    pure_byzantine_size,
+)
+from repro.consensus.base import ClusterConfig
+
+
+class TestSizing:
+    def test_pure_byzantine_special_case(self):
+        # c = 0 recovers PBFT's 3f+1 / 2f+1.
+        assert hybrid_cluster_size(2, 0) == 7
+        assert hybrid_quorum(2, 0) == 5
+
+    def test_hybrid_cheaper_than_all_byzantine(self):
+        """The point of SeeMoRe: knowing part of the cloud can only
+        crash buys smaller clusters than assuming all-Byzantine."""
+        for b, c in ((1, 1), (1, 2), (2, 1), (2, 3)):
+            assert hybrid_cluster_size(b, c) < pure_byzantine_size(b + c)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigError):
+            hybrid_cluster_size(0, 2)
+        with pytest.raises(ConfigError):
+            hybrid_quorum(1, -1)
+
+    def test_config_validates_cluster_size(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(
+                replica_ids=[f"r{i}" for i in range(5)],
+                byzantine=True,
+                hybrid=(1, 2),  # needs 8
+            )
+
+    def test_config_reports_hybrid_thresholds(self):
+        config = ClusterConfig(
+            replica_ids=[f"r{i}" for i in range(8)],
+            byzantine=True,
+            hybrid=(1, 2),
+        )
+        assert config.f == 3
+        assert config.quorum == 5
+
+
+class TestHybridCluster:
+    def test_normal_operation(self):
+        cluster = make_hybrid_cluster(byzantine=1, crash=2, seed=1)
+        for i in range(8):
+            cluster.submit(f"v{i}")
+        assert cluster.run_until_decided(8, timeout=60)
+        assert cluster.agreement_holds()
+
+    def test_survives_the_full_fault_budget_as_crashes(self):
+        """(b=1, c=2) tolerates three crashed replicas of its eight —
+        a pure-Byzantine config of eight (f=2) would tolerate only two."""
+        cluster = make_hybrid_cluster(byzantine=1, crash=2, seed=2)
+        for rid in ("r2", "r4", "r6"):
+            cluster.replicas[rid].crash()
+        for i in range(4):
+            cluster.submit(f"v{i}", via="r0")
+        assert cluster.run_until_decided(4, timeout=120)
+        assert cluster.agreement_holds()
+
+    def test_survives_leader_crash_within_budget(self):
+        cluster = make_hybrid_cluster(byzantine=1, crash=2, seed=3)
+        cluster.replicas["r0"].crash()
+        cluster.submit("v", via="r1")
+        assert cluster.run_until_decided(1, timeout=120)
+        assert cluster.agreement_holds()
+
+    def test_exceeding_the_budget_blocks_progress(self):
+        cluster = make_hybrid_cluster(byzantine=1, crash=1, seed=4)  # n=6, q=4
+        for rid in ("r1", "r2", "r3"):  # 3 > b + c = 2
+            cluster.replicas[rid].crash()
+        cluster.submit("stuck", via="r0")
+        assert not cluster.run_until_decided(1, timeout=8)

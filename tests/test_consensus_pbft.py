@@ -1,0 +1,82 @@
+"""PBFT-specific tests: view change mechanics and Byzantine behaviour."""
+
+from repro.consensus import ConsensusCluster
+from repro.consensus.pbft import EquivocatingPbftReplica, PbftReplica
+
+
+def mixed_factory(byzantine_id):
+    def factory(node_id, sim, network, config, on_decide):
+        cls = EquivocatingPbftReplica if node_id == byzantine_id else PbftReplica
+        return cls(
+            node_id=node_id, sim=sim, network=network, config=config,
+            on_decide=on_decide,
+        )
+
+    return factory
+
+
+class TestViewChange:
+    def test_leader_crash_triggers_view_change(self):
+        cluster = ConsensusCluster(PbftReplica, n=4, seed=1)
+        cluster.replica("r0").crash()
+        cluster.submit("v", via="r1")
+        assert cluster.run_until_decided(1, timeout=60)
+        views = {r.view for r in cluster.correct_replicas()}
+        assert all(v >= 1 for v in views)
+
+    def test_prepared_value_survives_view_change(self):
+        """A value decided before the crash stays decided afterwards."""
+        cluster = ConsensusCluster(PbftReplica, n=4, seed=2)
+        cluster.submit("before")
+        assert cluster.run_until_decided(1, timeout=30)
+        cluster.replica("r0").crash()
+        cluster.submit("after", via="r1")
+        assert cluster.run_until_decided(2, timeout=60)
+        for replica in cluster.correct_replicas():
+            assert replica.decided[0] == "before"
+            assert "after" in replica.decided
+
+    def test_cascading_view_changes_past_two_dead_leaders(self):
+        cluster = ConsensusCluster(PbftReplica, n=7, seed=3)
+        cluster.replica("r0").crash()  # leader of view 0
+        cluster.replica("r1").crash()  # leader of view 1
+        cluster.submit("v", via="r2")
+        assert cluster.run_until_decided(1, timeout=120)
+        assert cluster.agreement_holds()
+
+
+class TestCheckpointing:
+    def test_log_is_garbage_collected_at_checkpoints(self):
+        cluster = ConsensusCluster(PbftReplica, n=4, seed=4)
+        # Small checkpoint interval to exercise the path.
+        for replica in cluster.replicas.values():
+            replica.config.checkpoint_interval = 4
+        for i in range(12):
+            cluster.submit(f"v{i}")
+        assert cluster.run_until_decided(12, timeout=60)
+        replica = cluster.replica("r0")
+        assert replica._stable_checkpoint >= 3
+        assert all(seq > replica._stable_checkpoint
+                   for (_, seq) in replica._slots)
+
+
+class TestEquivocation:
+    def test_equivocating_leader_cannot_cause_divergence(self):
+        cluster = ConsensusCluster(mixed_factory("r0"), n=4, seed=5)
+        cluster.submit("target", via="r0")
+        cluster.run_until_decided(1, timeout=60)
+        assert cluster.agreement_holds()
+
+    def test_correct_replicas_eventually_order_the_real_value(self):
+        cluster = ConsensusCluster(mixed_factory("r0"), n=4, seed=6)
+        cluster.submit("real-value", via="r1")
+        assert cluster.run_until_decided(1, timeout=120)
+        logs = [r.decided for r in cluster.correct_replicas()]
+        assert all("real-value" in log for log in logs)
+
+    def test_equivocating_follower_is_harmless(self):
+        cluster = ConsensusCluster(mixed_factory("r2"), n=4, seed=7)
+        for i in range(5):
+            cluster.submit(f"v{i}", via="r0")
+        assert cluster.run_until_decided(5, timeout=60)
+        assert cluster.agreement_holds()

@@ -1,0 +1,169 @@
+"""Protocol-specific behaviours: Raft terms, Paxos re-proposal, HotStuff
+chain state, Tendermint voting power, IBFT round change."""
+
+import pytest
+
+from repro.consensus import ConsensusCluster
+from repro.consensus.hotstuff import HotStuffReplica
+from repro.consensus.ibft import IbftReplica
+from repro.consensus.paxos import PaxosReplica
+from repro.consensus.raft import RaftReplica, Role
+from repro.consensus.tendermint import TendermintReplica, proposer_schedule
+
+
+class TestRaft:
+    def test_exactly_one_leader_per_term(self):
+        cluster = ConsensusCluster(RaftReplica, n=5, byzantine=False, seed=1)
+        cluster.submit("v")
+        assert cluster.run_until_decided(1, timeout=30)
+        leaders = [
+            r for r in cluster.replicas.values() if r.role is Role.LEADER
+        ]
+        assert len(leaders) == 1
+
+    def test_new_leader_has_all_committed_entries(self):
+        cluster = ConsensusCluster(RaftReplica, n=5, byzantine=False, seed=2)
+        for i in range(5):
+            cluster.submit(f"v{i}")
+        assert cluster.run_until_decided(5, timeout=30)
+        old_leader = next(
+            r for r in cluster.replicas.values() if r.role is Role.LEADER
+        )
+        old_leader.crash()
+        cluster.submit("post-crash", via=next(
+            rid for rid, r in cluster.replicas.items() if not r.crashed
+        ))
+        assert cluster.run_until_decided(6, timeout=60)
+        new_leader = next(
+            r for r in cluster.replicas.values()
+            if r.role is Role.LEADER and not r.crashed
+        )
+        assert len(new_leader.decided) == 6
+
+    def test_term_monotonically_increases_across_elections(self):
+        cluster = ConsensusCluster(RaftReplica, n=3, byzantine=False, seed=3)
+        cluster.submit("a")
+        assert cluster.run_until_decided(1, timeout=30)
+        term_before = max(r.term for r in cluster.replicas.values())
+        leader = next(
+            r for r in cluster.replicas.values() if r.role is Role.LEADER
+        )
+        leader.crash()
+        cluster.submit("b", via=next(
+            rid for rid, r in cluster.replicas.items() if not r.crashed
+        ))
+        assert cluster.run_until_decided(2, timeout=60)
+        term_after = max(
+            r.term for r in cluster.replicas.values() if not r.crashed
+        )
+        assert term_after > term_before
+
+
+class TestPaxos:
+    def test_replica0_leads_initially(self):
+        cluster = ConsensusCluster(PaxosReplica, n=3, byzantine=False, seed=1)
+        cluster.submit("v")
+        assert cluster.run_until_decided(1, timeout=30)
+        assert cluster.replica("r0")._is_leader
+
+    def test_accepted_values_survive_leader_takeover(self):
+        cluster = ConsensusCluster(PaxosReplica, n=5, byzantine=False, seed=2)
+        for i in range(4):
+            cluster.submit(f"v{i}")
+        assert cluster.run_until_decided(4, timeout=30)
+        cluster.replica("r0").crash()
+        cluster.submit("takeover", via="r1")
+        assert cluster.run_until_decided(5, timeout=60)
+        assert cluster.agreement_holds()
+        for replica in cluster.correct_replicas():
+            assert set(replica.decided[:4]) == {f"v{i}" for i in range(4)}
+
+
+class TestHotStuff:
+    def test_three_chain_commit_needs_pipeline_views(self):
+        cluster = ConsensusCluster(HotStuffReplica, n=4, seed=1)
+        cluster.submit("single")
+        assert cluster.run_until_decided(1, timeout=30)
+        replica = cluster.replica("r0")
+        # Committing required at least 3 chained views past the proposal.
+        assert replica.view >= 3
+
+    def test_high_qc_advances_with_chain(self):
+        cluster = ConsensusCluster(HotStuffReplica, n=4, seed=2)
+        for i in range(5):
+            cluster.submit(f"v{i}")
+        assert cluster.run_until_decided(5, timeout=60)
+        assert cluster.replica("r0").high_qc.view > 0
+
+    def test_locked_qc_never_regresses(self):
+        cluster = ConsensusCluster(HotStuffReplica, n=4, seed=3)
+        locked_views = []
+        replica = cluster.replica("r0")
+        original = replica._update_chain_state
+
+        def spy(node):
+            locked_views.append(replica._locked_view())
+            original(node)
+
+        replica._update_chain_state = spy
+        for i in range(5):
+            cluster.submit(f"v{i}")
+        cluster.run_until_decided(5, timeout=60)
+        assert locked_views == sorted(locked_views)
+
+
+class TestTendermint:
+    def test_proposer_schedule_proportional_to_stake(self):
+        schedule = proposer_schedule(["a", "b"], {"a": 3, "b": 1})
+        assert schedule.count("a") == 3
+        assert schedule.count("b") == 1
+
+    def test_zero_weight_rejected(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            proposer_schedule(["a"], {"a": 0})
+
+    def test_thresholds_use_power_not_count(self):
+        """One validator holding >2/3 of stake decides alone — "one-third
+        or two-thirds of the validators are defined based on the
+        proportions of the total voting power" (paper 2.3.3)."""
+        cluster = ConsensusCluster(
+            TendermintReplica, n=4, seed=4,
+            weights={"r0": 9, "r1": 1, "r2": 1, "r3": 1},
+        )
+        for i in range(5):
+            cluster.submit(f"w{i}")
+        assert cluster.run_until_decided(5, timeout=60)
+        assert cluster.agreement_holds()
+
+    def test_minority_power_cannot_decide(self):
+        """With equal weights, 2 of 4 validators crashed (half the power)
+        blocks progress — no 2/3 supermajority exists."""
+        cluster = ConsensusCluster(TendermintReplica, n=4, seed=5)
+        cluster.replica("r2").crash()
+        cluster.replica("r3").crash()
+        cluster.submit("stuck", via="r0")
+        assert not cluster.run_until_decided(1, timeout=10)
+
+    def test_heights_decided_sequentially(self):
+        cluster = ConsensusCluster(TendermintReplica, n=4, seed=6)
+        for i in range(6):
+            cluster.submit(f"h{i}")
+        assert cluster.run_until_decided(6, timeout=60)
+        assert cluster.replica("r0").height == 6
+
+
+class TestIbft:
+    def test_round_change_replaces_dead_proposer(self):
+        cluster = ConsensusCluster(IbftReplica, n=4, seed=1)
+        cluster.replica("r0").crash()  # proposer of (height 0, round 0)
+        cluster.submit("v", via="r1")
+        assert cluster.run_until_decided(1, timeout=60)
+        assert all(r.height == 1 for r in cluster.correct_replicas())
+
+    def test_proposer_rotates_with_height(self):
+        replica_config = ConsensusCluster(IbftReplica, n=4, seed=2)
+        replica = replica_config.replica("r0")
+        assert replica.proposer(0, 0) != replica.proposer(1, 0)
+        assert replica.proposer(0, 1) == replica.proposer(1, 0)

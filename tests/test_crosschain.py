@@ -1,0 +1,165 @@
+"""Tests for atomic cross-chain swaps and Interledger payments."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.confidentiality import (
+    AssetChain,
+    AtomicSwap,
+    InterledgerConnector,
+    make_secret,
+)
+from repro.sim.core import Simulation
+
+
+@pytest.fixture()
+def chains():
+    sim = Simulation(seed=5)
+    chain_a = AssetChain("chainA", sim)
+    chain_b = AssetChain("chainB", sim)
+    chain_a.deposit("alice", 100)
+    chain_b.deposit("bob", 100)
+    return sim, chain_a, chain_b
+
+
+class TestHtlc:
+    def test_lock_escrows_funds(self, chains):
+        sim, chain_a, _ = chains
+        _, hashlock = make_secret()
+        chain_a.lock("alice", "bob", 40, hashlock, timeout_at=10.0)
+        assert chain_a.balance("alice") == 60
+        assert chain_a.balance("bob") == 0  # escrowed, not delivered
+
+    def test_claim_with_correct_preimage(self, chains):
+        sim, chain_a, _ = chains
+        preimage, hashlock = make_secret()
+        contract = chain_a.lock("alice", "bob", 40, hashlock, timeout_at=10.0)
+        chain_a.claim(contract, preimage)
+        assert chain_a.balance("bob") == 40
+
+    def test_claim_with_wrong_preimage_rejected(self, chains):
+        sim, chain_a, _ = chains
+        _, hashlock = make_secret()
+        contract = chain_a.lock("alice", "bob", 40, hashlock, timeout_at=10.0)
+        with pytest.raises(ValidationError):
+            chain_a.claim(contract, "not-the-preimage")
+        assert chain_a.balance("bob") == 0
+
+    def test_refund_only_after_timeout(self, chains):
+        sim, chain_a, _ = chains
+        _, hashlock = make_secret()
+        contract = chain_a.lock("alice", "bob", 40, hashlock, timeout_at=5.0)
+        with pytest.raises(ValidationError):
+            chain_a.refund(contract)
+        sim.schedule(6.0, lambda: None)
+        sim.run()
+        chain_a.refund(contract)
+        assert chain_a.balance("alice") == 100
+
+    def test_claim_after_timeout_rejected(self, chains):
+        sim, chain_a, _ = chains
+        preimage, hashlock = make_secret()
+        contract = chain_a.lock("alice", "bob", 40, hashlock, timeout_at=5.0)
+        sim.schedule(6.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValidationError):
+            chain_a.claim(contract, preimage)
+
+    def test_no_double_settlement(self, chains):
+        sim, chain_a, _ = chains
+        preimage, hashlock = make_secret()
+        contract = chain_a.lock("alice", "bob", 40, hashlock, timeout_at=10.0)
+        chain_a.claim(contract, preimage)
+        with pytest.raises(ValidationError):
+            chain_a.claim(contract, preimage)
+
+    def test_overdraft_lock_rejected(self, chains):
+        _, chain_a, _ = chains
+        _, hashlock = make_secret()
+        with pytest.raises(ValidationError):
+            chain_a.lock("alice", "bob", 500, hashlock, timeout_at=10.0)
+
+    def test_preimage_becomes_public_on_claim(self, chains):
+        sim, chain_a, _ = chains
+        preimage, hashlock = make_secret()
+        contract = chain_a.lock("alice", "bob", 40, hashlock, timeout_at=10.0)
+        assert chain_a.revealed_preimage(hashlock) is None
+        chain_a.claim(contract, preimage)
+        assert chain_a.revealed_preimage(hashlock) == preimage
+
+    def test_ledger_records_every_step(self, chains):
+        sim, chain_a, _ = chains
+        preimage, hashlock = make_secret()
+        contract = chain_a.lock("alice", "bob", 10, hashlock, timeout_at=10.0)
+        chain_a.claim(contract, preimage)
+        contracts = [tx.contract for tx in chain_a.ledger.all_transactions()]
+        assert contracts == ["deposit", "htlc_lock", "htlc_claim"]
+        chain_a.ledger.verify_chain()
+
+
+class TestAtomicSwap:
+    def test_cooperative_swap_completes(self, chains):
+        _, chain_a, chain_b = chains
+        outcome = AtomicSwap(chain_a, chain_b, "alice", "bob", 30, 25).execute()
+        assert outcome.completed
+        assert chain_a.balance("bob") == 30
+        assert chain_b.balance("alice") == 25
+        assert outcome.on_chain_txs == 4  # the paper's "costly" part
+
+    def test_bob_absent_refunds_alice(self, chains):
+        _, chain_a, chain_b = chains
+        outcome = AtomicSwap(
+            chain_a, chain_b, "alice", "bob", 30, 25
+        ).execute(bob_cooperates=False)
+        assert not outcome.completed
+        assert chain_a.balance("alice") == 100  # fully refunded
+        assert chain_b.balance("bob") == 100
+
+    def test_alice_absent_refunds_both(self, chains):
+        _, chain_a, chain_b = chains
+        outcome = AtomicSwap(
+            chain_a, chain_b, "alice", "bob", 30, 25
+        ).execute(alice_cooperates=False)
+        assert not outcome.completed
+        assert chain_a.balance("alice") == 100
+        assert chain_b.balance("bob") == 100
+
+    def test_atomicity_invariant(self, chains):
+        """Either both legs settle or neither does — never one."""
+        _, chain_a, chain_b = chains
+        for bob_ok, alice_ok in ((True, True), (False, True), (True, False)):
+            sim = Simulation(seed=6)
+            a = AssetChain("a", sim)
+            b = AssetChain("b", sim)
+            a.deposit("alice", 50)
+            b.deposit("bob", 50)
+            outcome = AtomicSwap(a, b, "alice", "bob", 20, 15).execute(
+                bob_cooperates=bob_ok, alice_cooperates=alice_ok
+            )
+            settled_a = a.balance("bob") == 20
+            settled_b = b.balance("alice") == 15
+            assert settled_a == settled_b == outcome.completed
+
+
+class TestInterledger:
+    def test_payment_across_disjoint_chains(self, chains):
+        sim, chain_a, chain_b = chains
+        chain_b.deposit("connector", 100)
+        connector = InterledgerConnector("connector", chain_a, chain_b, fee=2)
+        assert connector.transfer("alice", "carol", 30)
+        assert chain_b.balance("carol") == 28  # amount minus the fee
+        assert chain_a.balance("connector") == 30  # reimbursed + fee
+
+    def test_connector_without_liquidity_unwinds(self, chains):
+        sim, chain_a, chain_b = chains
+        connector = InterledgerConnector("connector", chain_a, chain_b)
+        # Connector holds nothing on chain B: leg 2 cannot lock.
+        assert not connector.transfer("alice", "carol", 30)
+        assert chain_a.balance("alice") == 100  # refunded
+        assert chain_b.balance("carol") == 0
+
+    def test_fee_must_be_covered(self, chains):
+        _, chain_a, chain_b = chains
+        connector = InterledgerConnector("connector", chain_a, chain_b, fee=5)
+        with pytest.raises(ValidationError):
+            connector.transfer("alice", "carol", 5)

@@ -1,0 +1,93 @@
+"""Unit tests for the Schnorr group and Pedersen commitments."""
+
+import pytest
+
+from repro.common.errors import CryptoError
+from repro.crypto.commitments import PedersenParams
+from repro.crypto.group import SchnorrGroup, default_group, simulation_group
+
+
+@pytest.fixture(scope="module")
+def group():
+    return simulation_group()
+
+
+@pytest.fixture(scope="module")
+def params(group):
+    return PedersenParams.create(group)
+
+
+class TestSchnorrGroup:
+    def test_default_group_validates(self):
+        default_group().validate()
+
+    def test_simulation_group_validates(self):
+        simulation_group().validate()
+
+    def test_generator_has_prime_order(self, group):
+        assert pow(group.g, group.q, group.p) == 1
+        assert group.g != 1
+
+    def test_is_element_accepts_powers_of_g(self, group):
+        assert group.is_element(group.exp(group.g, 12345))
+
+    def test_is_element_rejects_out_of_range(self, group):
+        assert not group.is_element(0)
+        assert not group.is_element(group.p)
+
+    def test_exp_mul_inv_are_consistent(self, group):
+        a = group.exp(group.g, 7)
+        assert group.mul(a, group.inv(a)) == 1
+
+    def test_hash_to_exponent_is_deterministic(self, group):
+        assert group.hash_to_exponent("a", 1) == group.hash_to_exponent("a", 1)
+        assert group.hash_to_exponent("a") != group.hash_to_exponent("b")
+
+    def test_independent_generator_in_group(self, group):
+        h = group.independent_generator("test")
+        assert group.is_element(h)
+        assert h != group.g
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(CryptoError):
+            SchnorrGroup(p=23, q=7, g=2).validate()  # 7 does not divide 22
+
+
+class TestPedersenCommitments:
+    def test_opening_verifies(self, params):
+        r = params.random_blinding()
+        assert params.commit(42, r).verify_opening(42, r)
+
+    def test_wrong_value_fails(self, params):
+        r = params.random_blinding()
+        assert not params.commit(42, r).verify_opening(43, r)
+
+    def test_wrong_blinding_fails(self, params):
+        r = params.random_blinding()
+        assert not params.commit(42, r).verify_opening(42, r + 1)
+
+    def test_hiding_different_blindings_differ(self, params):
+        a = params.commit(42, params.random_blinding())
+        b = params.commit(42, params.random_blinding())
+        assert a.point != b.point  # same value, unlinkable commitments
+
+    def test_homomorphic_addition(self, params):
+        r1, r2 = params.random_blinding(), params.random_blinding()
+        combined = params.commit(5, r1) * params.commit(7, r2)
+        assert combined.verify_opening(12, (r1 + r2) % params.group.q)
+
+    def test_inverse_negates(self, params):
+        r = params.random_blinding()
+        c = params.commit(5, r)
+        zero = c * c.inverse()
+        assert zero.is_commitment_to_zero_with(0)
+
+    def test_conservation_check_shape(self, params):
+        """The Quorum conservation equation: C_old == C_new * C_amount."""
+        q = params.group.q
+        r_old = params.random_blinding()
+        r_amt = params.random_blinding()
+        old = params.commit(100, r_old)
+        amount = params.commit(30, r_amt)
+        new = params.commit(70, (r_old - r_amt) % q)
+        assert (new * amount).point == old.point

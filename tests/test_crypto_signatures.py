@@ -1,0 +1,93 @@
+"""Unit tests for signature schemes and the membership service."""
+
+import pytest
+
+from repro.common.errors import CryptoError
+from repro.crypto.signatures import (
+    HmacSignatureScheme,
+    MembershipService,
+    SchnorrSignatureScheme,
+)
+from repro.crypto.group import simulation_group
+
+
+@pytest.fixture(params=["hmac", "schnorr"])
+def scheme(request):
+    if request.param == "hmac":
+        return HmacSignatureScheme()
+    return SchnorrSignatureScheme(simulation_group())
+
+
+class TestSchemes:
+    def test_sign_verify_roundtrip(self, scheme):
+        keypair = scheme.keygen("node1")
+        signature = scheme.sign(keypair, b"message")
+        assert scheme.verify(keypair.public, b"message", signature)
+
+    def test_wrong_message_rejected(self, scheme):
+        keypair = scheme.keygen("node1")
+        signature = scheme.sign(keypair, b"message")
+        assert not scheme.verify(keypair.public, b"other", signature)
+
+    def test_wrong_key_rejected(self, scheme):
+        kp1 = scheme.keygen("node1")
+        kp2 = scheme.keygen("node2")
+        signature = scheme.sign(kp1, b"message")
+        assert not scheme.verify(kp2.public, b"message", signature)
+
+    def test_garbage_signature_rejected(self, scheme):
+        keypair = scheme.keygen("node1")
+        assert not scheme.verify(keypair.public, b"message", b"garbage")
+
+    def test_costs_are_modelled(self, scheme):
+        assert scheme.sign_cost >= 0
+        assert scheme.verify_cost >= 0
+
+
+class TestSchnorrDeterminism:
+    def test_deterministic_nonce(self):
+        scheme = SchnorrSignatureScheme(simulation_group())
+        keypair = scheme.keygen("n")
+        assert scheme.sign(keypair, b"m") == scheme.sign(keypair, b"m")
+
+
+class TestMembershipService:
+    def test_register_and_verify(self):
+        ms = MembershipService()
+        ms.register("orderer1")
+        sig = ms.sign("orderer1", b"block")
+        assert ms.verify("orderer1", b"block", sig)
+
+    def test_double_registration_rejected(self):
+        ms = MembershipService()
+        ms.register("n")
+        with pytest.raises(CryptoError):
+            ms.register("n")
+
+    def test_unknown_identity_fails_verification(self):
+        ms = MembershipService()
+        assert not ms.verify("ghost", b"m", b"sig")
+
+    def test_unknown_identity_cannot_sign(self):
+        ms = MembershipService()
+        with pytest.raises(CryptoError):
+            ms.sign("ghost", b"m")
+
+    def test_revocation_blocks_verification(self):
+        ms = MembershipService()
+        ms.register("n")
+        sig = ms.sign("n", b"m")
+        ms.revoke("n")
+        assert not ms.is_member("n")
+        assert not ms.verify("n", b"m", sig)
+
+    def test_revoking_unknown_identity_rejected(self):
+        with pytest.raises(CryptoError):
+            MembershipService().revoke("ghost")
+
+    def test_public_key_lookup(self):
+        ms = MembershipService()
+        keypair = ms.register("n")
+        assert ms.public_key("n") == keypair.public
+        with pytest.raises(CryptoError):
+            ms.public_key("ghost")

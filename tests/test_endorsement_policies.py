@@ -1,0 +1,181 @@
+"""Tests for Fabric-style endorsement policies and signed endorsement."""
+
+import pytest
+
+from repro.common.errors import ConfigError, ValidationError
+from repro.common.types import Transaction
+from repro.core import SystemConfig, XovSystem
+from repro.crypto.signatures import MembershipService
+from repro.execution.contracts import standard_registry
+from repro.execution.endorsement import (
+    And,
+    EndorsingPeerGroup,
+    KOutOf,
+    Or,
+    Org,
+    all_of,
+    any_of,
+    majority_of,
+)
+from repro.ledger.store import StateStore
+
+
+class TestPolicyExpressions:
+    def test_org_leaf(self):
+        assert Org("acme").satisfied_by({"acme", "other"})
+        assert not Org("acme").satisfied_by({"other"})
+
+    def test_and_needs_everyone(self):
+        policy = all_of("a", "b")
+        assert policy.satisfied_by({"a", "b"})
+        assert not policy.satisfied_by({"a"})
+
+    def test_or_needs_anyone(self):
+        policy = any_of("a", "b")
+        assert policy.satisfied_by({"b"})
+        assert not policy.satisfied_by({"c"})
+
+    def test_k_out_of(self):
+        policy = KOutOf(2, (Org("a"), Org("b"), Org("c")))
+        assert policy.satisfied_by({"a", "c"})
+        assert not policy.satisfied_by({"b"})
+
+    def test_majority_helper(self):
+        policy = majority_of("a", "b", "c")
+        assert policy.k == 2
+
+    def test_k_bounds_validated(self):
+        with pytest.raises(ConfigError):
+            KOutOf(0, (Org("a"),))
+        with pytest.raises(ConfigError):
+            KOutOf(3, (Org("a"), Org("b")))
+
+    def test_nested_expressions(self):
+        # (acme AND globex) OR regulator
+        policy = Or((all_of("acme", "globex"), Org("regulator")))
+        assert policy.satisfied_by({"regulator"})
+        assert policy.satisfied_by({"acme", "globex"})
+        assert not policy.satisfied_by({"acme"})
+
+    def test_organizations_enumeration(self):
+        policy = Or((all_of("a", "b"), Org("c")))
+        assert policy.organizations() == {"a", "b", "c"}
+
+
+@pytest.fixture()
+def group():
+    return EndorsingPeerGroup(
+        standard_registry(), MembershipService(), ["acme", "globex", "initech"]
+    )
+
+
+def make_tx():
+    return Transaction.create("increment", ("counter",))
+
+
+class TestEndorsingPeerGroup:
+    def test_collect_satisfying_policy(self, group):
+        outcome = group.collect(
+            make_tx(), StateStore().snapshot(), all_of("acme", "globex")
+        )
+        assert outcome.ok
+        assert outcome.endorsing_orgs == {"acme", "globex"}
+        assert len(outcome.endorsed.endorsements) == 2
+
+    def test_signatures_verify(self, group):
+        outcome = group.collect(
+            make_tx(), StateStore().snapshot(), all_of("acme", "globex")
+        )
+        assert group.verify_endorsements(outcome.endorsed)
+
+    def test_offline_org_fails_and_policy(self, group):
+        group.offline_orgs.add("globex")
+        outcome = group.collect(
+            make_tx(), StateStore().snapshot(), all_of("acme", "globex")
+        )
+        assert not outcome.ok
+        assert outcome.reason == "policy_unsatisfied"
+
+    def test_offline_org_tolerated_by_or_policy(self, group):
+        group.offline_orgs.add("globex")
+        outcome = group.collect(
+            make_tx(), StateStore().snapshot(), any_of("acme", "globex")
+        )
+        assert outcome.ok
+
+    def test_lying_endorser_detected_as_mismatch(self, group):
+        group.faulty_orgs.add("globex")
+        outcome = group.collect(
+            make_tx(), StateStore().snapshot(), all_of("acme", "globex")
+        )
+        assert not outcome.ok
+        assert outcome.reason == "endorsement_mismatch"
+
+    def test_lying_minority_outvoted_under_majority_policy(self, group):
+        group.faulty_orgs.add("initech")
+        outcome = group.collect(
+            make_tx(), StateStore().snapshot(),
+            majority_of("acme", "globex", "initech"),
+        )
+        assert outcome.ok
+        assert "initech" not in outcome.endorsing_orgs
+
+    def test_unknown_org_in_policy_rejected(self, group):
+        with pytest.raises(ValidationError):
+            group.collect(make_tx(), StateStore().snapshot(), Org("ghost"))
+
+    def test_tampered_endorsement_fails_verification(self, group):
+        import dataclasses
+
+        outcome = group.collect(
+            make_tx(), StateStore().snapshot(), Org("acme")
+        )
+        endorsed = outcome.endorsed
+        forged = dataclasses.replace(
+            endorsed.endorsements[0], signature=b"forged"
+        )
+        tampered = dataclasses.replace(endorsed, endorsements=(forged,))
+        assert not group.verify_endorsements(tampered)
+
+
+class TestXovWithPolicies:
+    def _system(self, policy, faulty=(), offline=()):
+        group = EndorsingPeerGroup(
+            standard_registry(), MembershipService(),
+            ["acme", "globex", "initech"],
+        )
+        group.faulty_orgs |= set(faulty)
+        group.offline_orgs |= set(offline)
+        return XovSystem(
+            SystemConfig(block_size=10, seed=31),
+            peer_group=group,
+            policy=policy,
+        )
+
+    def test_clean_run_commits(self):
+        system = self._system(all_of("acme", "globex"))
+        for i in range(20):
+            system.submit(Transaction.create("kv_set", (f"k{i}", i)))
+        result = system.run()
+        assert result.committed == 20
+
+    def test_mismatch_aborts_before_ordering(self):
+        system = self._system(all_of("acme", "globex"), faulty=["globex"])
+        for i in range(10):
+            system.submit(Transaction.create("kv_set", (f"k{i}", i)))
+        result = system.run()
+        assert result.committed == 0
+        assert result.extra.get("abort.endorsement_mismatch", 0) == 10
+
+    def test_majority_policy_survives_one_liar(self):
+        system = self._system(
+            majority_of("acme", "globex", "initech"), faulty=["initech"]
+        )
+        for i in range(10):
+            system.submit(Transaction.create("kv_set", (f"k{i}", i)))
+        result = system.run()
+        assert result.committed == 10
+
+    def test_policy_requires_peer_group(self):
+        with pytest.raises(ConfigError):
+            XovSystem(SystemConfig(seed=1), policy=Org("acme"))

@@ -1,0 +1,125 @@
+"""Unit tests for contracts, contexts, and read/write-set capture."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.common.types import Transaction
+from repro.execution.contracts import (
+    ContractContext,
+    ContractRegistry,
+    standard_registry,
+)
+from repro.execution.rwsets import execute_with_capture
+from repro.ledger.store import NEVER_WRITTEN, StateStore, Version
+
+
+@pytest.fixture()
+def registry():
+    return standard_registry()
+
+
+@pytest.fixture()
+def store():
+    return StateStore()
+
+
+class TestContractRegistry:
+    def test_standard_contracts_registered(self, registry):
+        for name in ("kv_set", "kv_get", "increment", "transfer"):
+            assert name in registry
+
+    def test_duplicate_registration_rejected(self, registry):
+        with pytest.raises(ExecutionError):
+            registry.register("kv_set", lambda ctx: None)
+
+    def test_unknown_contract_rejected(self, registry):
+        with pytest.raises(ExecutionError):
+            registry.contract("nope")
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ExecutionError):
+            ContractRegistry().register("x", lambda ctx: None, cost=-1)
+
+    def test_cost_lookup(self, registry):
+        assert registry.cost("kv_set") > 0
+
+
+class TestContractContext:
+    def test_reads_are_recorded_with_versions(self, store):
+        store.put("k", 5, Version(2, 1))
+        ctx = ContractContext(store)
+        assert ctx.get("k") == 5
+        assert ctx.reads["k"] == Version(2, 1)
+
+    def test_read_of_missing_key_records_never_written(self, store):
+        ctx = ContractContext(store)
+        assert ctx.get("k", "default") == "default"
+        assert ctx.reads["k"] == NEVER_WRITTEN
+
+    def test_contract_reads_its_own_writes(self, store):
+        ctx = ContractContext(store)
+        ctx.put("k", 10)
+        assert ctx.get("k") == 10
+        assert "k" not in ctx.reads  # own write, not a foreign read
+
+    def test_writes_are_buffered_not_applied(self, store):
+        ctx = ContractContext(store)
+        ctx.put("k", 1)
+        assert store.get("k") is None
+
+    def test_put_none_rejected(self, store):
+        with pytest.raises(ExecutionError):
+            ContractContext(store).put("k", None)
+
+    def test_delete_buffers_none_sentinel(self, store):
+        ctx = ContractContext(store)
+        ctx.delete("k")
+        assert ctx.writes["k"] is None
+
+    def test_require_raises_execution_error(self, store):
+        ctx = ContractContext(store)
+        with pytest.raises(ExecutionError):
+            ctx.require(False, "rule broken")
+
+
+class TestExecuteWithCapture:
+    def test_successful_execution_captures_effects(self, registry, store):
+        tx = Transaction.create("increment", ("counter",))
+        rwset = execute_with_capture(registry, tx, store)
+        assert rwset.ok
+        assert rwset.result == 1
+        assert rwset.writes == {"counter": 1}
+        assert "counter" in rwset.reads
+
+    def test_business_rule_abort_leaves_no_writes(self, registry, store):
+        tx = Transaction.create("transfer", ("poor", "rich", 100))
+        rwset = execute_with_capture(registry, tx, store)
+        assert not rwset.ok
+        assert rwset.writes == {}
+
+    def test_cost_comes_from_registry(self, registry, store):
+        tx = Transaction.create("kv_set", ("k", 1))
+        rwset = execute_with_capture(registry, tx, store)
+        assert rwset.cost == registry.cost("kv_set")
+
+    def test_digest_reflects_content(self, registry, store):
+        a = execute_with_capture(
+            registry, Transaction.create("kv_set", ("k", 1)), store
+        )
+        b = execute_with_capture(
+            registry, Transaction.create("kv_set", ("k", 2)), store
+        )
+        assert a.digest() != b.digest()
+
+    def test_rwset_conflict_detection(self, registry, store):
+        w = execute_with_capture(
+            registry, Transaction.create("kv_set", ("k", 1)), store
+        )
+        r = execute_with_capture(
+            registry, Transaction.create("kv_get", ("k",)), store
+        )
+        other = execute_with_capture(
+            registry, Transaction.create("kv_get", ("j",)), store
+        )
+        assert w.conflicts_with(r)
+        assert not r.conflicts_with(other)

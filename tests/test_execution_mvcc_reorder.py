@@ -1,0 +1,154 @@
+"""Unit tests for MVCC validation, Fabric++/Sharp reordering, XOX reexec."""
+
+import pytest
+
+from repro.common.types import Transaction
+from repro.execution.contracts import standard_registry
+from repro.execution.mvcc import endorse, validate_endorsement
+from repro.execution.reexec import reexecute_invalidated
+from repro.execution.reorder import (
+    early_abort_stale,
+    reorder_fabricpp,
+    reorder_fabricsharp,
+)
+from repro.ledger.store import StateStore, Version
+
+
+@pytest.fixture()
+def registry():
+    return standard_registry()
+
+
+@pytest.fixture()
+def store():
+    return StateStore()
+
+
+def endorse_tx(registry, store, contract, args):
+    return endorse(Transaction.create(contract, args), store.snapshot(), registry)
+
+
+class TestMvcc:
+    def test_fresh_endorsement_validates(self, registry, store):
+        endorsed = endorse_tx(registry, store, "increment", ("k",))
+        assert validate_endorsement(endorsed, store)
+
+    def test_stale_read_invalidates(self, registry, store):
+        endorsed = endorse_tx(registry, store, "increment", ("k",))
+        store.put("k", 99, Version(1, 0))  # someone commits in between
+        assert not validate_endorsement(endorsed, store)
+
+    def test_dirty_key_within_block_invalidates(self, registry, store):
+        endorsed = endorse_tx(registry, store, "increment", ("k",))
+        assert not validate_endorsement(endorsed, store, dirty={"k": 0})
+
+    def test_failed_endorsement_never_validates(self, registry, store):
+        endorsed = endorse_tx(registry, store, "transfer", ("a", "b", 5))
+        assert not endorsed.ok
+        assert not validate_endorsement(endorsed, store)
+
+    def test_blind_write_unaffected_by_other_writes(self, registry, store):
+        endorsed = endorse_tx(registry, store, "kv_set", ("k", 1))
+        store.put("other", 1, Version(1, 0))
+        assert validate_endorsement(endorsed, store)
+
+
+class TestReordering:
+    def _reader_then_writer_block(self, registry, store):
+        """Writer ordered before reader: plain Fabric aborts the reader,
+        any reordering saves it."""
+        writer = endorse_tx(registry, store, "kv_set", ("k", 1))
+        readr = endorse_tx(registry, store, "kv_get", ("k",))
+        return [writer, readr]
+
+    def test_fabricpp_saves_reader_by_reordering(self, registry, store):
+        writer, readr = self._reader_then_writer_block(registry, store)
+        outcome = reorder_fabricpp([writer, readr])
+        assert not outcome.aborted
+        order = [e.tx.tx_id for e in outcome.order]
+        assert order.index(readr.tx.tx_id) < order.index(writer.tx.tx_id)
+
+    def test_cycle_forces_abort(self, registry, store):
+        # Two RMWs on the same key read what the other writes: a cycle.
+        a = endorse_tx(registry, store, "increment", ("k",))
+        b = endorse_tx(registry, store, "increment", ("k",))
+        outcome = reorder_fabricpp([a, b])
+        assert len(outcome.aborted) == 1
+        assert len(outcome.order) == 1
+
+    def test_fabricsharp_never_aborts_more_than_fabricpp(self, registry, store):
+        txs = []
+        for key in ("a", "b", "a", "c", "b", "a"):
+            txs.append(endorse_tx(registry, store, "increment", (key,)))
+        pp = reorder_fabricpp(txs)
+        sharp = reorder_fabricsharp(txs, store)
+        total_sharp = len(sharp.aborted) + len(sharp.early_aborted)
+        assert total_sharp <= len(pp.aborted)
+
+    def test_fabricsharp_early_aborts_stale_reads(self, registry, store):
+        doomed = endorse_tx(registry, store, "increment", ("k",))
+        store.put("k", 5, Version(1, 0))  # now stale vs committed state
+        outcome = reorder_fabricsharp([doomed], store)
+        assert outcome.early_aborted == [doomed]
+        assert not outcome.order
+
+    def test_early_abort_splits_correctly(self, registry, store):
+        fresh = endorse_tx(registry, store, "increment", ("fresh",))
+        stale = endorse_tx(registry, store, "increment", ("stale",))
+        store.put("stale", 1, Version(1, 0))
+        kept, dropped = early_abort_stale([fresh, stale], store)
+        assert kept == [fresh]
+        assert dropped == [stale]
+
+    def test_reordered_output_validates_cleanly(self, registry, store):
+        """Survivors in the reordered order must all pass MVCC with
+        in-block dirty tracking — the whole point of reordering."""
+        txs = [
+            endorse_tx(registry, store, "kv_set", ("k", 1)),
+            endorse_tx(registry, store, "kv_get", ("k",)),
+            endorse_tx(registry, store, "kv_set", ("j", 2)),
+            endorse_tx(registry, store, "kv_get", ("j",)),
+        ]
+        outcome = reorder_fabricsharp(txs, store)
+        dirty = {}
+        for index, endorsed in enumerate(outcome.order):
+            assert validate_endorsement(endorsed, store, dirty)
+            for key in endorsed.rwset.write_keys:
+                dirty[key] = index
+
+    def test_failed_endorsements_are_dropped(self, registry, store):
+        bad = endorse_tx(registry, store, "transfer", ("x", "y", 1))
+        outcome = reorder_fabricpp([bad])
+        assert outcome.aborted == [bad]
+
+
+class TestReexecution:
+    def test_invalidated_tx_recovers_against_current_state(
+        self, registry, store
+    ):
+        endorsed = endorse_tx(registry, store, "increment", ("k",))
+        store.put("k", 10, Version(1, 0))  # invalidate the endorsement
+        assert not validate_endorsement(endorsed, store)
+        report = reexecute_invalidated(
+            [endorsed], store, registry, height=2, first_tx_index=0
+        )
+        assert len(report.recovered) == 1
+        assert store.get("k") == 11  # re-executed on the NEW state
+
+    def test_business_rule_failure_stays_failed(self, registry, store):
+        endorsed = endorse_tx(registry, store, "transfer", ("a", "b", 5))
+        report = reexecute_invalidated(
+            [endorsed], store, registry, height=1, first_tx_index=0
+        )
+        assert report.recovered == []
+        assert len(report.still_failed) == 1
+
+    def test_reexecution_is_serial_with_visibility(self, registry, store):
+        first = endorse_tx(registry, store, "increment", ("k",))
+        second = endorse_tx(registry, store, "increment", ("k",))
+        store.put("k", 100, Version(1, 0))
+        report = reexecute_invalidated(
+            [first, second], store, registry, height=2, first_tx_index=0
+        )
+        assert len(report.recovered) == 2
+        assert store.get("k") == 102

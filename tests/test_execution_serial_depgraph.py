@@ -1,0 +1,128 @@
+"""Unit tests for serial execution and OXII dependency scheduling."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.common.types import Operation, OpType, Transaction
+from repro.execution.contracts import standard_registry
+from repro.execution.depgraph import (
+    build_dependency_graph,
+    schedule_parallel,
+    schedule_waves,
+)
+from repro.execution.serial import execute_block_serially
+from repro.ledger.block import Block
+from repro.ledger.store import StateStore
+
+
+def rmw(key):
+    return Transaction.create(
+        "increment", (key,), declared_ops=(Operation(OpType.READ_WRITE, key),)
+    )
+
+
+def reader(key):
+    return Transaction.create(
+        "kv_get", (key,), declared_ops=(Operation(OpType.READ, key),)
+    )
+
+
+class TestSerialExecution:
+    def test_in_block_writes_visible_to_later_txs(self):
+        block = Block.create(1, "p", [rmw("k"), rmw("k"), rmw("k")])
+        store = StateStore()
+        report = execute_block_serially(block, store, standard_registry())
+        assert report.committed == 3
+        assert store.get("k") == 3
+
+    def test_failed_tx_counts_and_writes_nothing(self):
+        bad = Transaction.create("transfer", ("a", "b", 10))
+        block = Block.create(1, "p", [bad])
+        store = StateStore()
+        report = execute_block_serially(block, store, standard_registry())
+        assert report.failed == 1
+        assert store.get("a") is None
+
+    def test_modelled_cost_is_sum_of_tx_costs(self):
+        registry = standard_registry()
+        block = Block.create(1, "p", [rmw("a"), rmw("b")])
+        report = execute_block_serially(block, StateStore(), registry)
+        assert report.modelled_cost == pytest.approx(
+            2 * registry.cost("increment")
+        )
+
+
+class TestDependencyGraph:
+    def test_conflicting_txs_get_an_edge(self):
+        graph = build_dependency_graph([rmw("k"), rmw("k")])
+        assert 1 in graph.successors[0]
+
+    def test_non_conflicting_txs_have_no_edges(self):
+        graph = build_dependency_graph([rmw("a"), rmw("b"), reader("c")])
+        assert graph.edge_count == 0
+
+    def test_edges_follow_block_order(self):
+        graph = build_dependency_graph([rmw("k"), reader("k")])
+        assert graph.successors[0] == {1}
+        assert graph.successors[1] == set()
+
+    def test_two_readers_do_not_conflict(self):
+        graph = build_dependency_graph([reader("k"), reader("k")])
+        assert graph.edge_count == 0
+
+    def test_undeclared_ops_rejected(self):
+        bare = Transaction.create("kv_get", ("k",))
+        with pytest.raises(ExecutionError):
+            build_dependency_graph([bare])
+
+    def test_waves_group_independent_txs(self):
+        graph = build_dependency_graph([rmw("a"), rmw("b"), rmw("a"), rmw("b")])
+        waves = graph.waves()
+        assert waves == [[0, 1], [2, 3]]
+
+    def test_fully_serial_chain_has_one_wave_per_tx(self):
+        graph = build_dependency_graph([rmw("k") for _ in range(4)])
+        assert len(graph.waves()) == 4
+
+
+class TestScheduling:
+    def test_wave_makespan_unbounded_executors(self):
+        graph = build_dependency_graph([rmw("a"), rmw("b"), rmw("a")])
+        # waves: [0, 1], [2] -> 2 waves of max cost 1.0
+        assert schedule_waves(graph, [1.0, 1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_parallel_schedule_respects_dependencies(self):
+        txs = [rmw("k"), rmw("k"), rmw("j")]
+        graph = build_dependency_graph(txs)
+        makespan, order = schedule_parallel(graph, [1.0] * 3, executors=2)
+        assert order.index(0) < order.index(1)
+        assert makespan == pytest.approx(2.0)  # k-chain dominates
+
+    def test_single_executor_is_serial(self):
+        txs = [rmw("a"), rmw("b"), rmw("c")]
+        graph = build_dependency_graph(txs)
+        makespan, _ = schedule_parallel(graph, [1.0] * 3, executors=1)
+        assert makespan == pytest.approx(3.0)
+
+    def test_many_executors_bounded_by_critical_path(self):
+        txs = [rmw("k") for _ in range(5)]  # pure chain
+        graph = build_dependency_graph(txs)
+        makespan, _ = schedule_parallel(graph, [1.0] * 5, executors=16)
+        assert makespan == pytest.approx(5.0)
+
+    def test_parallel_speedup_on_independent_work(self):
+        txs = [rmw(f"k{i}") for i in range(8)]
+        graph = build_dependency_graph(txs)
+        serial, _ = schedule_parallel(graph, [1.0] * 8, executors=1)
+        parallel, _ = schedule_parallel(graph, [1.0] * 8, executors=4)
+        assert parallel == pytest.approx(serial / 4)
+
+    def test_zero_executors_rejected(self):
+        graph = build_dependency_graph([rmw("a")])
+        with pytest.raises(ExecutionError):
+            schedule_parallel(graph, [1.0], executors=0)
+
+    def test_empty_block_schedules_to_zero(self):
+        graph = build_dependency_graph([])
+        makespan, order = schedule_parallel(graph, [], executors=2)
+        assert makespan == 0.0 and order == []

@@ -1,0 +1,104 @@
+"""Tests for light-client inclusion proofs."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import LedgerError
+from repro.common.types import Transaction
+from repro.ledger.audit import (
+    InclusionProof,
+    prove_inclusion,
+    verify_transaction_content,
+)
+from repro.ledger.chain import Blockchain
+
+
+@pytest.fixture()
+def chain():
+    chain = Blockchain()
+    for block_index in range(5):
+        txs = [
+            Transaction.create("kv_set", (f"b{block_index}k{i}", i))
+            for i in range(4)
+        ]
+        chain.append(chain.next_block(txs))
+    return chain
+
+
+class TestInclusionProofs:
+    def test_every_transaction_is_provable(self, chain):
+        tip = chain.tip_hash()
+        for tx in chain.all_transactions():
+            proof = prove_inclusion(chain, tx.tx_id)
+            assert proof.verify(tip)
+            assert verify_transaction_content(proof, tx)
+
+    def test_proof_is_compact(self, chain):
+        """Header chain + log-size Merkle path, never the full ledger."""
+        first_tx = next(chain.all_transactions())
+        proof = prove_inclusion(chain, first_tx.tx_id)
+        assert len(proof.headers) == chain.height - proof.block_height + 1
+        assert len(proof.merkle_path.path) <= 3  # log2(4 txs) rounded up
+
+    def test_unknown_transaction_rejected(self, chain):
+        with pytest.raises(LedgerError):
+            prove_inclusion(chain, "no-such-tx")
+
+    def test_proof_fails_against_wrong_tip(self, chain):
+        other = Blockchain()
+        other.append(other.next_block(
+            [Transaction.create("kv_set", ("x", 1))]
+        ))
+        tx = next(chain.all_transactions())
+        proof = prove_inclusion(chain, tx.tx_id)
+        assert not proof.verify(other.tip_hash())
+
+    def test_tampered_header_chain_detected(self, chain):
+        tx = next(chain.all_transactions())
+        proof = prove_inclusion(chain, tx.tx_id)
+        headers = list(proof.headers)
+        headers[1] = dataclasses.replace(headers[1], timestamp=999.0)
+        tampered = dataclasses.replace(proof, headers=tuple(headers))
+        assert not tampered.verify(chain.tip_hash())
+
+    def test_substituted_transaction_detected(self, chain):
+        tx = next(chain.all_transactions())
+        proof = prove_inclusion(chain, tx.tx_id)
+        other_tx = Transaction.create("kv_set", ("evil", 666))
+        assert not verify_transaction_content(proof, other_tx)
+        forged = dataclasses.replace(proof, tx_digest=other_tx.digest())
+        assert not forged.verify(chain.tip_hash())
+
+    def test_proof_from_old_block_spans_to_tip(self, chain):
+        early_tx = next(chain.all_transactions())  # block 1
+        proof = prove_inclusion(chain, early_tx.tx_id)
+        assert proof.block_height == 1
+        assert proof.headers[-1].digest() == chain.tip_hash()
+
+    def test_proof_survives_chain_growth_with_new_tip(self, chain):
+        tx = next(chain.all_transactions())
+        old_proof = prove_inclusion(chain, tx.tx_id)
+        chain.append(chain.next_block(
+            [Transaction.create("kv_set", ("new", 1))]
+        ))
+        # The old proof no longer reaches the new tip...
+        assert not old_proof.verify(chain.tip_hash())
+        # ...but a fresh proof does.
+        assert prove_inclusion(chain, tx.tx_id).verify(chain.tip_hash())
+
+
+class TestCli:
+    def test_cli_list_runs(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "architectures" in out
+
+    def test_cli_quickstart_runs(self, capsys):
+        from repro.cli import main
+
+        assert main(["quickstart", "--txs", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out

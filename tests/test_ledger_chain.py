@@ -1,0 +1,100 @@
+"""Unit tests for blocks and the hash-chained ledger."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import LedgerError
+from repro.common.types import Transaction
+from repro.ledger.block import Block, genesis_block
+from repro.ledger.chain import Blockchain
+
+
+def make_txs(n):
+    return [Transaction.create("kv_set", (f"k{i}", i)) for i in range(n)]
+
+
+class TestBlock:
+    def test_create_computes_merkle_root(self):
+        block = Block.create(1, "prev", make_txs(3))
+        block.validate_payload()
+
+    def test_tampered_payload_detected(self):
+        block = Block.create(1, "prev", make_txs(3))
+        tampered = Block(
+            header=block.header, transactions=block.transactions[:2]
+        )
+        with pytest.raises(LedgerError):
+            tampered.validate_payload()
+
+    def test_header_digest_covers_all_fields(self):
+        block = Block.create(1, "prev", make_txs(1), timestamp=1.0)
+        moved = dataclasses.replace(block.header, timestamp=2.0)
+        assert block.header.digest() != moved.digest()
+
+    def test_genesis_is_stable(self):
+        assert genesis_block().block_hash == genesis_block().block_hash
+
+
+class TestBlockchain:
+    def test_starts_at_genesis(self):
+        chain = Blockchain()
+        assert chain.height == 0
+        assert len(chain) == 1
+
+    def test_append_and_lookup(self):
+        chain = Blockchain()
+        txs = make_txs(3)
+        chain.append(chain.next_block(txs))
+        assert chain.height == 1
+        block, position = chain.find_transaction(txs[1].tx_id)
+        assert block.height == 1 and position == 1
+
+    def test_find_missing_transaction_returns_none(self):
+        assert Blockchain().find_transaction("nope") is None
+
+    def test_wrong_height_rejected(self):
+        chain = Blockchain()
+        block = Block.create(5, chain.head.block_hash, make_txs(1))
+        with pytest.raises(LedgerError):
+            chain.append(block)
+
+    def test_wrong_prev_hash_rejected(self):
+        chain = Blockchain()
+        block = Block.create(1, "bogus", make_txs(1))
+        with pytest.raises(LedgerError):
+            chain.append(block)
+
+    def test_replicas_with_same_blocks_are_equal(self):
+        a, b = Blockchain(), Blockchain()
+        txs = make_txs(2)
+        block = a.next_block(txs, timestamp=1.0)
+        a.append(block)
+        b.append(block)
+        assert a.same_ledger_as(b)
+
+    def test_replicas_diverge_on_different_payload(self):
+        a, b = Blockchain(), Blockchain()
+        a.append(a.next_block(make_txs(1), timestamp=1.0))
+        b.append(b.next_block(make_txs(1), timestamp=1.0))
+        assert not a.same_ledger_as(b)  # different tx ids -> different roots
+
+    def test_verify_chain_passes_for_valid_chain(self):
+        chain = Blockchain()
+        for _ in range(5):
+            chain.append(chain.next_block(make_txs(2)))
+        chain.verify_chain()
+
+    def test_all_transactions_in_order(self):
+        chain = Blockchain()
+        txs = make_txs(4)
+        chain.append(chain.next_block(txs[:2]))
+        chain.append(chain.next_block(txs[2:]))
+        assert [t.tx_id for t in chain.all_transactions()] == [
+            t.tx_id for t in txs
+        ]
+
+    def test_block_accessor_bounds(self):
+        chain = Blockchain()
+        with pytest.raises(LedgerError):
+            chain.block(1)

@@ -1,0 +1,81 @@
+"""Unit tests for the Caper DAG ledger."""
+
+import pytest
+
+from repro.common.errors import LedgerError
+from repro.common.types import Transaction, TxType
+from repro.ledger.dag import CaperDag
+
+
+def internal_tx(enterprise):
+    return Transaction.create(
+        "produce", (enterprise,), submitter=enterprise, tx_type=TxType.INTERNAL
+    )
+
+
+def cross_tx():
+    return Transaction.create("ship", (), tx_type=TxType.CROSS_ENTERPRISE)
+
+
+@pytest.fixture()
+def dag():
+    return CaperDag(["a", "b", "c"])
+
+
+class TestCaperDag:
+    def test_internal_txs_form_per_enterprise_chains(self, dag):
+        first = dag.add_internal("a", internal_tx("a"))
+        second = dag.add_internal("a", internal_tx("a"))
+        assert dag.vertex(second).parents == (first,)
+
+    def test_first_internal_has_no_parents(self, dag):
+        digest = dag.add_internal("a", internal_tx("a"))
+        assert dag.vertex(digest).parents == ()
+
+    def test_cross_tx_joins_all_chains(self, dag):
+        a = dag.add_internal("a", internal_tx("a"))
+        b = dag.add_internal("b", internal_tx("b"))
+        cross = dag.add_cross(cross_tx())
+        assert set(dag.vertex(cross).parents) == {a, b}
+
+    def test_cross_becomes_every_chains_head(self, dag):
+        dag.add_internal("a", internal_tx("a"))
+        cross = dag.add_cross(cross_tx())
+        nxt = dag.add_internal("b", internal_tx("b"))
+        assert dag.vertex(nxt).parents == (cross,)
+
+    def test_add_cross_requires_cross_type(self, dag):
+        with pytest.raises(LedgerError):
+            dag.add_cross(internal_tx("a"))
+
+    def test_unknown_enterprise_rejected(self, dag):
+        with pytest.raises(LedgerError):
+            dag.add_internal("ghost", internal_tx("ghost"))
+
+    def test_view_contains_own_internal_and_all_cross(self, dag):
+        dag.add_internal("a", internal_tx("a"))
+        dag.add_internal("b", internal_tx("b"))
+        dag.add_cross(cross_tx())
+        view_a = dag.view("a")
+        assert len(view_a) == 2  # a's internal + the cross tx
+        assert all(v.enterprise in ("a", None) for v in view_a)
+
+    def test_view_hides_foreign_internals(self, dag):
+        secret = dag.add_internal("b", internal_tx("b"))
+        assert all(v.digest() != secret for v in dag.view("a"))
+
+    def test_views_consistent_on_cross_spine(self, dag):
+        dag.add_internal("a", internal_tx("a"))
+        dag.add_cross(cross_tx())
+        dag.add_internal("b", internal_tx("b"))
+        dag.add_cross(cross_tx())
+        assert dag.views_consistent()
+
+    def test_verify_passes_on_valid_dag(self, dag):
+        dag.add_internal("a", internal_tx("a"))
+        dag.add_cross(cross_tx())
+        dag.verify()
+
+    def test_needs_at_least_one_enterprise(self):
+        with pytest.raises(LedgerError):
+            CaperDag([])

@@ -1,0 +1,68 @@
+"""Unit tests for the versioned state store."""
+
+from repro.ledger.store import NEVER_WRITTEN, StateStore, Version
+
+
+class TestVersion:
+    def test_ordering_by_height_then_index(self):
+        assert Version(1, 0) < Version(2, 0)
+        assert Version(1, 0) < Version(1, 1)
+
+    def test_never_written_precedes_everything(self):
+        assert NEVER_WRITTEN < Version(0, 0)
+
+
+class TestStateStore:
+    def test_get_default_for_missing_key(self):
+        store = StateStore()
+        assert store.get("missing") is None
+        assert store.get("missing", 7) == 7
+
+    def test_put_and_get_versioned(self):
+        store = StateStore()
+        store.put("k", "v", Version(1, 2))
+        entry = store.get_versioned("k")
+        assert entry.value == "v"
+        assert entry.version == Version(1, 2)
+
+    def test_version_of_unwritten_key(self):
+        assert StateStore().version_of("k") == NEVER_WRITTEN
+
+    def test_apply_writes_sets_all_keys_at_one_version(self):
+        store = StateStore()
+        store.apply_writes({"a": 1, "b": 2}, Version(3, 0))
+        assert store.version_of("a") == store.version_of("b") == Version(3, 0)
+
+    def test_apply_writes_none_deletes(self):
+        store = StateStore()
+        store.put("k", 1, Version(1, 0))
+        store.apply_writes({"k": None}, Version(2, 0))
+        assert "k" not in store
+
+    def test_snapshot_is_isolated_from_later_writes(self):
+        store = StateStore()
+        store.put("k", "old", Version(1, 0))
+        snapshot = store.snapshot()
+        store.put("k", "new", Version(2, 0))
+        assert snapshot.get("k") == "old"
+        assert snapshot.get_versioned("k").version == Version(1, 0)
+        assert store.get("k") == "new"
+
+    def test_same_state_ignores_versions(self):
+        a, b = StateStore(), StateStore()
+        a.put("k", 1, Version(1, 0))
+        b.put("k", 1, Version(5, 3))
+        assert a.same_state_as(b)
+
+    def test_different_values_not_same_state(self):
+        a, b = StateStore(), StateStore()
+        a.put("k", 1, Version(1, 0))
+        b.put("k", 2, Version(1, 0))
+        assert not a.same_state_as(b)
+
+    def test_len_and_keys(self):
+        store = StateStore()
+        store.put("a", 1, Version(1, 0))
+        store.put("b", 2, Version(1, 1))
+        assert len(store) == 2
+        assert set(store.keys()) == {"a", "b"}

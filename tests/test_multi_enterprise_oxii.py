@@ -1,0 +1,120 @@
+"""Tests for ParBlockchain's multi-enterprise execution model."""
+
+import pytest
+
+from repro.common.errors import ExecutionError
+from repro.common.types import Operation, OpType, Transaction
+from repro.core import OxiiSystem, SystemConfig
+from repro.execution.depgraph import (
+    build_dependency_graph,
+    schedule_multi_enterprise,
+)
+from repro.workloads import SupplyChainWorkload, supply_chain_registry
+
+
+def tx_of(enterprise, key):
+    return Transaction.create(
+        "increment", (key,), submitter=enterprise,
+        declared_ops=(Operation(OpType.READ_WRITE, key),),
+    )
+
+
+class TestMultiEnterpriseScheduling:
+    def test_independent_enterprises_run_fully_parallel(self):
+        txs = [tx_of("a", "ka"), tx_of("b", "kb"), tx_of("c", "kc")]
+        graph = build_dependency_graph(txs)
+        makespan, _ = schedule_multi_enterprise(
+            graph, [1.0] * 3, ["a", "b", "c"], executors_per_enterprise=1
+        )
+        assert makespan == pytest.approx(1.0)
+
+    def test_one_enterprises_txs_serialize_on_its_pool(self):
+        txs = [tx_of("a", f"k{i}") for i in range(4)]
+        graph = build_dependency_graph(txs)  # no conflicts
+        makespan, _ = schedule_multi_enterprise(
+            graph, [1.0] * 4, ["a"] * 4, executors_per_enterprise=2
+        )
+        assert makespan == pytest.approx(2.0)  # 4 txs over 2 lanes
+
+    def test_cross_enterprise_dependency_pays_handoff(self):
+        txs = [tx_of("a", "shared"), tx_of("b", "shared")]
+        graph = build_dependency_graph(txs)
+        makespan, _ = schedule_multi_enterprise(
+            graph, [1.0, 1.0], ["a", "b"],
+            executors_per_enterprise=1, cross_enterprise_latency=0.5,
+        )
+        assert makespan == pytest.approx(2.5)  # 1 + handoff + 1
+
+    def test_same_enterprise_dependency_is_free(self):
+        txs = [tx_of("a", "shared"), tx_of("a", "shared")]
+        graph = build_dependency_graph(txs)
+        makespan, _ = schedule_multi_enterprise(
+            graph, [1.0, 1.0], ["a", "a"],
+            executors_per_enterprise=1, cross_enterprise_latency=0.5,
+        )
+        assert makespan == pytest.approx(2.0)
+
+    def test_completion_order_respects_dependencies(self):
+        txs = [tx_of("a", "k"), tx_of("b", "k"), tx_of("c", "other")]
+        graph = build_dependency_graph(txs)
+        _, order = schedule_multi_enterprise(
+            graph, [1.0] * 3, ["a", "b", "c"], executors_per_enterprise=1
+        )
+        assert order.index(0) < order.index(1)
+        assert sorted(order) == [0, 1, 2]
+
+    def test_input_validation(self):
+        graph = build_dependency_graph([tx_of("a", "k")])
+        with pytest.raises(ExecutionError):
+            schedule_multi_enterprise(graph, [1.0], ["a"], 0)
+        with pytest.raises(ExecutionError):
+            schedule_multi_enterprise(graph, [1.0, 2.0], ["a"], 1)
+
+    def test_empty_block(self):
+        graph = build_dependency_graph([])
+        assert schedule_multi_enterprise(graph, [], [], 2) == (0.0, [])
+
+
+class TestOxiiPerEnterpriseMode:
+    def _run(self, per_enterprise, cross_latency=0.01):
+        workload = SupplyChainWorkload(seed=9, internal_fraction=0.5)
+        system = OxiiSystem(
+            SystemConfig(block_size=40, seed=13),
+            registry=supply_chain_registry(),
+            per_enterprise=per_enterprise,
+            executors_per_enterprise=2,
+            cross_enterprise_latency=cross_latency,
+        )
+        for tx in workload.setup_transactions() + workload.generate(150):
+            system.submit(tx)
+        return system.run()
+
+    def test_both_modes_commit_identically(self):
+        shared = self._run(False)
+        split = self._run(True)
+        assert shared.committed == split.committed
+        assert shared.aborted == split.aborted
+
+    def test_cross_enterprise_handoffs_cost_throughput(self):
+        cheap = self._run(True, cross_latency=0.0)
+        pricey = self._run(True, cross_latency=0.05)
+        assert pricey.throughput < cheap.throughput
+
+    def test_state_identical_across_modes(self):
+        shared = OxiiSystem(
+            SystemConfig(block_size=40, seed=13),
+            registry=supply_chain_registry(),
+        )
+        split = OxiiSystem(
+            SystemConfig(block_size=40, seed=13),
+            registry=supply_chain_registry(), per_enterprise=True,
+        )
+        workload_a = SupplyChainWorkload(seed=9, internal_fraction=0.5)
+        workload_b = SupplyChainWorkload(seed=9, internal_fraction=0.5)
+        for tx in workload_a.setup_transactions() + workload_a.generate(100):
+            shared.submit(tx)
+        for tx in workload_b.setup_transactions() + workload_b.generate(100):
+            split.submit(tx)
+        shared.run()
+        split.run()
+        assert shared.store.same_state_as(split.store)

@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+Each property is an invariant the rest of the system relies on:
+Merkle proof completeness, commitment homomorphism, dependency-graph
+equivalence to serial execution, reordering validity, ledger chaining,
+and event-queue ordering.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.types import Operation, OpType, Transaction
+from repro.crypto.commitments import PedersenParams
+from repro.crypto.group import simulation_group
+from repro.crypto.merkle import MerkleTree
+from repro.execution.contracts import standard_registry
+from repro.execution.depgraph import build_dependency_graph, schedule_parallel
+from repro.execution.mvcc import endorse, validate_endorsement
+from repro.execution.reorder import reorder_fabricpp, reorder_fabricsharp
+from repro.execution.serial import execute_block_serially
+from repro.ledger.block import Block
+from repro.ledger.chain import Blockchain
+from repro.ledger.store import StateStore
+from repro.sim.events import EventQueue
+from repro.workloads.kv import ZipfSampler
+
+_PARAMS = PedersenParams.create(simulation_group())
+
+
+@given(st.lists(st.binary(min_size=0, max_size=64), min_size=1, max_size=40))
+@settings(max_examples=50, deadline=None)
+def test_every_merkle_leaf_has_a_valid_proof(leaves):
+    tree = MerkleTree(leaves)
+    for index in range(len(leaves)):
+        proof = tree.proof(index)
+        assert MerkleTree.verify_against_root(proof, tree.root)
+
+
+@given(
+    st.lists(st.text(min_size=1, max_size=8), min_size=2, max_size=20),
+    st.integers(min_value=0, max_value=19),
+)
+@settings(max_examples=30, deadline=None)
+def test_merkle_proof_fails_for_wrong_leaf(leaves, which):
+    which %= len(leaves)
+    tree = MerkleTree(leaves)
+    proof = tree.proof(which)
+    # Flip one hex digit of the claimed leaf digest.
+    bad_leaf = ("0" if proof.leaf[0] != "0" else "1") + proof.leaf[1:]
+    from repro.crypto.merkle import MerkleProof
+
+    forged = MerkleProof(leaf=bad_leaf, leaf_index=which, path=proof.path)
+    assert not MerkleTree.verify_against_root(forged, tree.root)
+
+
+@given(
+    st.integers(min_value=0, max_value=10**9),
+    st.integers(min_value=0, max_value=10**9),
+)
+@settings(max_examples=25, deadline=None)
+def test_pedersen_homomorphism(v1, v2):
+    q = _PARAMS.group.q
+    r1, r2 = v1 * 7 + 13, v2 * 11 + 29  # deterministic blindings
+    combined = _PARAMS.commit(v1, r1) * _PARAMS.commit(v2, r2)
+    assert combined.verify_opening(v1 + v2, (r1 + r2) % q)
+
+
+@given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=1))
+@settings(max_examples=25, deadline=None)
+def test_pedersen_binding_to_value(value, delta):
+    r = 424242
+    commitment = _PARAMS.commit(value, r)
+    assert not commitment.verify_opening(value + delta, r)
+
+
+_KEY_POOL = [f"k{i}" for i in range(6)]  # small pool => plenty of conflicts
+
+
+@st.composite
+def _declared_tx_batch(draw):
+    size = draw(st.integers(min_value=1, max_value=12))
+    txs = []
+    for _ in range(size):
+        key = draw(st.sampled_from(_KEY_POOL))
+        kind = draw(st.sampled_from(["rmw", "write", "read"]))
+        if kind == "rmw":
+            txs.append(Transaction.create(
+                "increment", (key,),
+                declared_ops=(Operation(OpType.READ_WRITE, key),),
+            ))
+        elif kind == "write":
+            txs.append(Transaction.create(
+                "kv_set", (key, draw(st.integers(0, 100))),
+                declared_ops=(Operation(OpType.WRITE, key),),
+            ))
+        else:
+            txs.append(Transaction.create(
+                "kv_get", (key,),
+                declared_ops=(Operation(OpType.READ, key),),
+            ))
+    return txs
+
+
+@given(_declared_tx_batch())
+@settings(max_examples=50, deadline=None)
+def test_dependency_graph_is_acyclic_and_complete(txs):
+    graph = build_dependency_graph(txs)
+    # Edges only point forward in block order -> acyclic by construction.
+    for src, dsts in graph.successors.items():
+        assert all(dst > src for dst in dsts)
+    # Completion order respects every edge.
+    _, order = schedule_parallel(graph, [1.0] * len(txs), executors=3)
+    position = {tx: i for i, tx in enumerate(order)}
+    for src, dsts in graph.successors.items():
+        for dst in dsts:
+            assert position[src] < position[dst]
+    assert sorted(order) == list(range(len(txs)))
+
+
+@given(_declared_tx_batch())
+@settings(max_examples=50, deadline=None)
+def test_parallel_schedule_never_beats_critical_path_or_serial(txs):
+    graph = build_dependency_graph(txs)
+    costs = [1.0] * len(txs)
+    serial = float(len(txs))
+    makespan, _ = schedule_parallel(graph, costs, executors=4)
+    waves = graph.waves()
+    critical = float(len(waves))
+    assert critical <= makespan <= serial + 1e-9
+
+
+@given(_declared_tx_batch())
+@settings(max_examples=50, deadline=None)
+def test_reordered_blocks_validate_cleanly(txs):
+    """Survivors of either reordering algorithm always pass MVCC
+    validation with in-block dirty tracking, in the produced order."""
+    registry = standard_registry()
+    store = StateStore()
+    endorsed = [endorse(tx, store.snapshot(), registry) for tx in txs]
+    for outcome in (
+        reorder_fabricpp(endorsed),
+        reorder_fabricsharp(endorsed, store),
+    ):
+        dirty = {}
+        for index, entry in enumerate(outcome.order):
+            assert validate_endorsement(entry, store, dirty)
+            for key in entry.rwset.write_keys:
+                dirty[key] = index
+
+
+@given(_declared_tx_batch())
+@settings(max_examples=50, deadline=None)
+def test_fabricsharp_aborts_at_most_fabricpp(txs):
+    registry = standard_registry()
+    store = StateStore()
+    endorsed = [endorse(tx, store.snapshot(), registry) for tx in txs]
+    pp = reorder_fabricpp(endorsed)
+    sharp = reorder_fabricsharp(endorsed, store)
+    assert (
+        len(sharp.aborted) + len(sharp.early_aborted) <= len(pp.aborted)
+    )
+
+
+@given(_declared_tx_batch())
+@settings(max_examples=40, deadline=None)
+def test_serial_execution_is_deterministic(txs):
+    def run():
+        store = StateStore()
+        block = Block.create(1, "prev", txs)
+        execute_block_serially(block, store, standard_registry())
+        return store.as_dict()
+
+    assert run() == run()
+
+
+@given(st.lists(st.integers(min_value=0, max_value=50), min_size=0, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_blockchain_appends_always_verify(block_sizes):
+    chain = Blockchain()
+    for size in block_sizes:
+        txs = [Transaction.create("kv_set", (f"k{i}", i)) for i in range(size)]
+        chain.append(chain.next_block(txs))
+    chain.verify_chain()
+    assert chain.height == len(block_sizes)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100,
+                            allow_nan=False), st.integers(0, 5)),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_event_queue_pops_in_nondecreasing_time(entries):
+    queue = EventQueue()
+    for time, _ in entries:
+        queue.push(time, lambda: None)
+    times = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        times.append(event.time)
+    assert times == sorted(times)
+    assert len(times) == len(entries)
+
+
+@given(
+    st.integers(min_value=1, max_value=500),
+    st.floats(min_value=0.0, max_value=1.5, allow_nan=False),
+    st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=40, deadline=None)
+def test_zipf_sampler_stays_in_range(n, theta, seed):
+    sampler = ZipfSampler(n, theta, random.Random(seed))
+    assert all(0 <= sampler.sample() < n for _ in range(50))

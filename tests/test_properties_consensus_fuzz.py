@@ -1,0 +1,105 @@
+"""Property-based consensus fuzzing: random crash schedules never break
+safety, and within-budget schedules never break liveness.
+
+These are the invariants all of section 2.2 rests on; hypothesis drives
+crash timing, victim choice, and seeds through the deterministic
+simulator, shrinking any counterexample to a minimal schedule.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consensus import ConsensusCluster
+from repro.consensus.pbft import PbftReplica
+from repro.consensus.raft import RaftReplica
+from repro.sim.faults import CrashSchedule
+
+
+@given(
+    victim=st.integers(min_value=0, max_value=3),
+    crash_time=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=12, deadline=None)
+def test_pbft_single_crash_any_time_keeps_safety_and_liveness(
+    victim, crash_time, seed
+):
+    """n=4 PBFT tolerates one crash whenever it happens."""
+    cluster = ConsensusCluster(PbftReplica, n=4, seed=seed)
+    schedule = CrashSchedule().crash_at(max(crash_time, 1e-9), f"r{victim}")
+    schedule.apply(cluster.sim, cluster.replicas)
+    submitter = f"r{(victim + 1) % 4}"
+    for i in range(4):
+        cluster.submit(f"v{i}", via=submitter)
+    done = cluster.run_until_decided(4, timeout=180)
+    assert cluster.agreement_holds()
+    assert done, "one crash is within PBFT's fault budget"
+
+
+@given(
+    victims=st.sets(st.integers(min_value=0, max_value=4), min_size=2,
+                    max_size=2),
+    crash_times=st.tuples(
+        st.floats(min_value=0.01, max_value=1.5, allow_nan=False),
+        st.floats(min_value=0.01, max_value=1.5, allow_nan=False),
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=10, deadline=None)
+def test_raft_double_crash_within_budget(victims, crash_times, seed):
+    """n=5 Raft tolerates two crashes at arbitrary moments."""
+    cluster = ConsensusCluster(RaftReplica, n=5, byzantine=False, seed=seed)
+    schedule = CrashSchedule()
+    for victim, when in zip(sorted(victims), crash_times):
+        schedule.crash_at(when, f"r{victim}")
+    schedule.apply(cluster.sim, cluster.replicas)
+    submitter = f"r{next(i for i in range(5) if i not in victims)}"
+    for i in range(3):
+        cluster.submit(f"v{i}", via=submitter)
+    done = cluster.run_until_decided(3, timeout=180)
+    assert cluster.agreement_holds()
+    assert done
+
+
+@given(
+    extra_victim=st.integers(min_value=0, max_value=3),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=8, deadline=None)
+def test_pbft_beyond_budget_stalls_but_never_forks(extra_victim, seed):
+    """Two crashes at n=4 exceed f=1: progress may stop, but the logs of
+    the survivors must never diverge — safety is unconditional."""
+    cluster = ConsensusCluster(PbftReplica, n=4, seed=seed)
+    first = extra_victim
+    second = (extra_victim + 1) % 4
+    cluster.replicas[f"r{first}"].crash()
+    cluster.replicas[f"r{second}"].crash()
+    alive = next(
+        i for i in range(4) if i not in (first, second)
+    )
+    cluster.submit("doomed", via=f"r{alive}")
+    cluster.run_until_decided(1, timeout=6)
+    assert cluster.agreement_holds()
+
+
+@given(
+    heal_after=st.floats(min_value=1.0, max_value=5.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=8, deadline=None)
+def test_raft_partition_heal_converges(heal_after, seed):
+    """Any partition followed by a heal converges to one log."""
+    cluster = ConsensusCluster(RaftReplica, n=3, byzantine=False, seed=seed)
+    cluster.submit("before")
+    assert cluster.run_until_decided(1, timeout=60)
+    cluster.network.partition([["r0"], ["r1", "r2"]])
+    cluster.submit("during", via="r1")
+    cluster.sim.run(until=cluster.sim.now + heal_after)
+    cluster.network.heal()
+    assert cluster.run_until_decided(2, timeout=180)
+    logs = [tuple(r.decided[:2]) for r in cluster.replicas.values()]
+    deadline = cluster.sim.now + 60
+    while len(set(logs)) != 1 and cluster.sim.now < deadline:
+        cluster.sim.run(until=cluster.sim.now + 0.5)
+        logs = [tuple(r.decided[:2]) for r in cluster.replicas.values()]
+    assert len(set(logs)) == 1

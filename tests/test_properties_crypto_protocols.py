@@ -1,0 +1,136 @@
+"""Property-based tests, second batch: crypto protocols and HTLCs."""
+
+import secrets as _secrets
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.commitments import PedersenParams
+from repro.crypto.group import simulation_group
+from repro.sim.core import Simulation
+from repro.confidentiality.crosschain import AssetChain, make_secret
+from repro.execution.endorsement import And, KOutOf, Or, Org
+from repro.verifiability.shielded import LsagSignature
+from repro.verifiability.zkp import BitProof, OpeningProof, SchnorrProof
+
+_GROUP = simulation_group()
+_PARAMS = PedersenParams.create(_GROUP)
+
+_ORG_NAMES = ["a", "b", "c", "d"]
+
+
+@st.composite
+def _policies(draw, depth=0):
+    if depth >= 2:
+        return Org(draw(st.sampled_from(_ORG_NAMES)))
+    kind = draw(st.sampled_from(["org", "and", "or", "k"]))
+    if kind == "org":
+        return Org(draw(st.sampled_from(_ORG_NAMES)))
+    size = draw(st.integers(min_value=1, max_value=3))
+    parts = tuple(draw(_policies(depth=depth + 1)) for _ in range(size))
+    if kind == "and":
+        return And(parts)
+    if kind == "or":
+        return Or(parts)
+    k = draw(st.integers(min_value=1, max_value=len(parts)))
+    return KOutOf(k, parts)
+
+
+@given(_policies(), st.sets(st.sampled_from(_ORG_NAMES)))
+@settings(max_examples=80, deadline=None)
+def test_policy_monotonicity(policy, orgs):
+    """Adding endorsing organisations never breaks a satisfied policy."""
+    if policy.satisfied_by(orgs):
+        assert policy.satisfied_by(orgs | set(_ORG_NAMES))
+    # And an empty set satisfies nothing that names an org.
+    if not orgs:
+        assert not policy.satisfied_by(orgs) or not policy.organizations()
+
+
+@given(_policies())
+@settings(max_examples=50, deadline=None)
+def test_policy_full_set_always_satisfies(policy):
+    assert policy.satisfied_by(set(_ORG_NAMES))
+
+
+@given(st.integers(min_value=1, max_value=10**12), st.text(max_size=16))
+@settings(max_examples=25, deadline=None)
+def test_schnorr_proof_roundtrip(secret, context):
+    secret %= _GROUP.q - 1
+    secret += 1
+    proof = SchnorrProof.prove(_GROUP, secret, context)
+    public = _GROUP.exp(_GROUP.g, secret)
+    assert proof.verify(_GROUP, public, context)
+    assert not proof.verify(_GROUP, _GROUP.exp(_GROUP.g, secret + 1), context)
+
+
+@given(st.integers(min_value=0, max_value=10**9), st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_opening_and_bit_proofs(value, use_bit):
+    blinding = (value * 31 + 7) % _GROUP.q
+    if use_bit:
+        bit = value % 2
+        proof = BitProof.prove(_PARAMS, bit, blinding, "ctx")
+        assert proof.verify(_PARAMS, _PARAMS.commit(bit, blinding), "ctx")
+        assert not proof.verify(
+            _PARAMS, _PARAMS.commit(bit + 2, blinding), "ctx"
+        )
+    else:
+        proof = OpeningProof.prove(_PARAMS, value, blinding, "ctx")
+        assert proof.verify(_PARAMS, _PARAMS.commit(value, blinding), "ctx")
+
+
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=0, max_value=5),
+    st.text(min_size=1, max_size=12),
+)
+@settings(max_examples=25, deadline=None)
+def test_lsag_signs_at_any_position(ring_size, signer, message):
+    signer %= ring_size
+    keys = [
+        _secrets.randbelow(_GROUP.q - 1) + 1 for _ in range(ring_size)
+    ]
+    ring = tuple(_GROUP.exp(_GROUP.g, x) for x in keys)
+    signature = LsagSignature.sign(_GROUP, ring, signer, keys[signer], message)
+    assert signature.verify(_GROUP, ring, message)
+    assert not signature.verify(_GROUP, ring, message + "!")
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=30),  # amount
+            st.booleans(),  # claim (True) or let it expire (False)
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_htlc_conservation(script):
+    """No sequence of locks/claims/refunds creates or destroys funds."""
+    sim = Simulation(seed=9)
+    chain = AssetChain("c", sim)
+    chain.deposit("alice", 500)
+    chain.deposit("bob", 100)
+    total = 600
+    open_contracts = []
+    for amount, claim in script:
+        if chain.balance("alice") < amount:
+            continue
+        preimage, hashlock = make_secret()
+        contract = chain.lock(
+            "alice", "bob", amount, hashlock, timeout_at=sim.now + 5.0
+        )
+        if claim:
+            chain.claim(contract, preimage)
+        else:
+            open_contracts.append(contract)
+    # Expire and refund whatever was left open.
+    sim.schedule(6.0, lambda: None)
+    sim.run()
+    for contract in open_contracts:
+        chain.refund(contract)
+    assert chain.balance("alice") + chain.balance("bob") == total
+    chain.ledger.verify_chain()

@@ -1,0 +1,172 @@
+"""Tests for the shielded pool (LSAG ring signatures, key images)."""
+
+import dataclasses
+import secrets
+
+import pytest
+
+from repro.common.errors import CryptoError, ValidationError
+from repro.crypto.group import simulation_group
+from repro.verifiability.shielded import (
+    LsagSignature,
+    ShieldedPool,
+    SpendTx,
+    hash_to_point,
+)
+
+
+@pytest.fixture(scope="module")
+def group():
+    return simulation_group()
+
+
+def make_ring(group, size=4):
+    secrets_ = [secrets.randbelow(group.q - 1) + 1 for _ in range(size)]
+    ring = tuple(group.exp(group.g, x) for x in secrets_)
+    return secrets_, ring
+
+
+class TestLsag:
+    def test_valid_signature_verifies(self, group):
+        keys, ring = make_ring(group)
+        sig = LsagSignature.sign(group, ring, 2, keys[2], "msg")
+        assert sig.verify(group, ring, "msg")
+
+    @pytest.mark.parametrize("index", [0, 1, 3])
+    def test_any_ring_position_signs(self, group, index):
+        keys, ring = make_ring(group)
+        sig = LsagSignature.sign(group, ring, index, keys[index], "msg")
+        assert sig.verify(group, ring, "msg")
+
+    def test_message_binding(self, group):
+        keys, ring = make_ring(group)
+        sig = LsagSignature.sign(group, ring, 1, keys[1], "pay alice")
+        assert not sig.verify(group, ring, "pay mallory")
+
+    def test_ring_binding(self, group):
+        keys, ring = make_ring(group)
+        _, other_ring = make_ring(group)
+        sig = LsagSignature.sign(group, ring, 1, keys[1], "msg")
+        assert not sig.verify(group, other_ring, "msg")
+
+    def test_wrong_secret_rejected_at_signing(self, group):
+        keys, ring = make_ring(group)
+        with pytest.raises(CryptoError):
+            LsagSignature.sign(group, ring, 1, keys[0], "msg")
+
+    def test_key_image_is_deterministic_per_key(self, group):
+        keys, ring = make_ring(group)
+        sig_a = LsagSignature.sign(group, ring, 1, keys[1], "first")
+        sig_b = LsagSignature.sign(group, ring, 1, keys[1], "second")
+        assert sig_a.key_image == sig_b.key_image  # linkability
+
+    def test_key_images_differ_between_keys(self, group):
+        keys, ring = make_ring(group)
+        sig_a = LsagSignature.sign(group, ring, 0, keys[0], "m")
+        sig_b = LsagSignature.sign(group, ring, 1, keys[1], "m")
+        assert sig_a.key_image != sig_b.key_image
+
+    def test_key_image_not_trivially_linkable_to_member(self, group):
+        """The key image is x * H_p(P), not g^x — it does not equal any
+        ring member, so the spender is not identified by inspection."""
+        keys, ring = make_ring(group)
+        sig = LsagSignature.sign(group, ring, 2, keys[2], "m")
+        assert sig.key_image not in ring
+        assert sig.key_image != hash_to_point(group, ring[2])
+
+    def test_tampered_response_rejected(self, group):
+        keys, ring = make_ring(group)
+        sig = LsagSignature.sign(group, ring, 1, keys[1], "m")
+        bad = dataclasses.replace(
+            sig, responses=(sig.responses[0] + 1,) + sig.responses[1:]
+        )
+        assert not bad.verify(group, ring, "m")
+
+    def test_forged_key_image_rejected(self, group):
+        keys, ring = make_ring(group)
+        sig = LsagSignature.sign(group, ring, 1, keys[1], "m")
+        bad = dataclasses.replace(sig, key_image=group.exp(group.g, 42))
+        assert not bad.verify(group, ring, "m")
+
+
+class TestShieldedPool:
+    @pytest.fixture()
+    def pool(self):
+        pool = ShieldedPool(ring_size=4)
+        # Pre-populate with decoy liquidity.
+        self.owners = []
+        for _ in range(8):
+            secret, public = pool.keygen()
+            pool.deposit(public)
+            self.owners.append(secret)
+        return pool
+
+    def test_valid_spend_commits(self, pool):
+        receiver_secret, receiver_public = pool.keygen()
+        spend = pool.build_spend(3, self.owners[3], receiver_public)
+        assert pool.verify_spend(spend) is None
+        new_index = pool.apply_spend(spend)
+        assert pool.notes[new_index].public_key == receiver_public
+
+    def test_double_spend_linked_by_key_image(self, pool):
+        _, receiver = pool.keygen()
+        first = pool.build_spend(3, self.owners[3], receiver)
+        pool.apply_spend(first)
+        _, other_receiver = pool.keygen()
+        second = pool.build_spend(3, self.owners[3], other_receiver)
+        assert pool.verify_spend(second) == "double_spend"
+        with pytest.raises(ValidationError):
+            pool.apply_spend(second)
+
+    def test_double_spend_detected_across_different_rings(self, pool):
+        """The linking tag works even when the two spends hide behind
+        completely different decoy sets."""
+        _, receiver = pool.keygen()
+        first = pool.build_spend(2, self.owners[2], receiver)
+        second = pool.build_spend(2, self.owners[2], receiver)
+        pool.apply_spend(first)
+        assert (
+            second.signature.key_image == first.signature.key_image
+        )
+        assert pool.verify_spend(second) == "double_spend"
+
+    def test_spend_without_the_secret_fails(self, pool):
+        _, receiver = pool.keygen()
+        with pytest.raises(CryptoError):
+            pool.build_spend(3, self.owners[4], receiver)
+
+    def test_ring_contains_decoys(self, pool):
+        _, receiver = pool.keygen()
+        spend = pool.build_spend(0, self.owners[0], receiver)
+        assert len(spend.ring) == 4
+        assert pool.notes[0].public_key in spend.ring
+
+    def test_foreign_ring_member_rejected(self, pool):
+        _, receiver = pool.keygen()
+        spend = pool.build_spend(0, self.owners[0], receiver)
+        foreign = pool.group.exp(pool.group.g, 123456)
+        forged = dataclasses.replace(
+            spend, ring=spend.ring[:-1] + (foreign,)
+        )
+        assert pool.verify_spend(forged) == "unknown_ring_member"
+
+    def test_output_swap_invalidates_signature(self, pool):
+        """The spend signs its output: redirecting the payment to a
+        different receiver breaks the proof."""
+        _, receiver = pool.keygen()
+        _, thief = pool.keygen()
+        spend = pool.build_spend(1, self.owners[1], receiver)
+        from repro.verifiability.shielded import Note
+
+        hijacked = dataclasses.replace(spend, output=Note(public_key=thief))
+        assert pool.verify_spend(hijacked) == "invalid_ring_signature"
+
+    def test_chained_spends(self, pool):
+        receiver_secret, receiver_public = pool.keygen()
+        spend = pool.build_spend(5, self.owners[5], receiver_public)
+        new_index = pool.apply_spend(spend)
+        # The receiver re-spends the freshly received note.
+        _, next_receiver = pool.keygen()
+        onward = pool.build_spend(new_index, receiver_secret, next_receiver)
+        assert pool.verify_spend(onward) is None
+        pool.apply_spend(onward)

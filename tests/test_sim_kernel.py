@@ -1,0 +1,113 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.sim.core import Simulation
+from repro.sim.events import EventQueue
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(2.0, lambda: fired.append("late"))
+        queue.push(1.0, lambda: fired.append("early"))
+        queue.pop().callback()
+        queue.pop().callback()
+        assert fired == ["early", "late"]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        second = queue.push(1.0, lambda: None)
+        assert queue.pop() is first
+        assert queue.pop() is second
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        event.cancel()
+        assert queue.pop() is None
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None).cancel()
+        assert len(queue) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None).cancel()
+        queue.push(5.0, lambda: None)
+        assert queue.peek_time() == 5.0
+
+
+class TestSimulation:
+    def test_clock_advances_with_events(self):
+        sim = Simulation()
+        times = []
+        sim.schedule(1.5, lambda: times.append(sim.now))
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5, 1.5]
+        assert sim.now == 1.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigError):
+            Simulation().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        sim = Simulation()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ConfigError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_run_until_stops_clock_at_bound(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(1))
+        sim.run(until=5.0)
+        assert not fired
+        assert sim.now == 5.0
+        sim.run()
+        assert fired == [1]
+
+    def test_max_events_guards_runaway(self):
+        sim = Simulation()
+
+        def reschedule():
+            sim.schedule(0.1, reschedule)
+
+        sim.schedule(0.0, reschedule)
+        processed = sim.run(max_events=50)
+        assert processed == 50
+
+    def test_events_scheduled_during_run_execute(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: fired.append("x")))
+        sim.run()
+        assert fired == ["x"]
+        assert sim.now == 2.0
+
+    def test_stop_halts_run(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(1.0, sim.stop)
+        sim.schedule(2.0, lambda: fired.append(1))
+        sim.run()
+        assert not fired
+
+    def test_determinism_same_seed(self):
+        def trace(seed):
+            sim = Simulation(seed=seed)
+            values = []
+            for _ in range(10):
+                sim.schedule(sim.rng.random(), lambda: values.append(sim.now))
+            sim.run()
+            return values
+
+        assert trace(7) == trace(7)
+        assert trace(7) != trace(8)

@@ -1,0 +1,182 @@
+"""Unit tests for the simulated network and fault injection."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.sim.core import Simulation
+from repro.sim.faults import CrashSchedule
+from repro.sim.network import LanLatency, Network, WanLatency, message_size
+from repro.sim.node import Node
+
+
+class Recorder(Node):
+    def __init__(self, node_id, sim, network):
+        super().__init__(node_id, sim, network)
+        self.received = []
+
+    def on_message(self, src, message):
+        self.received.append((src, message, self.sim.now))
+
+
+@pytest.fixture()
+def sim():
+    return Simulation(seed=3)
+
+
+def test_send_delivers_after_latency(sim):
+    net = Network(sim, latency=LanLatency(base=0.01, jitter=0.0))
+    a = Recorder("a", sim, net)
+    b = Recorder("b", sim, net)
+    a.send("b", "hello")
+    sim.run()
+    assert b.received[0][:2] == ("a", "hello")
+    assert b.received[0][2] == pytest.approx(0.01)
+
+
+def test_broadcast_reaches_all_other_nodes(sim):
+    net = Network(sim, latency=LanLatency())
+    nodes = [Recorder(f"n{i}", sim, net) for i in range(4)]
+    nodes[0].broadcast("ping")
+    sim.run()
+    assert all(len(n.received) == 1 for n in nodes[1:])
+    assert not nodes[0].received
+
+
+def test_send_to_unknown_node_is_silently_dropped(sim):
+    net = Network(sim, latency=LanLatency())
+    a = Recorder("a", sim, net)
+    a.send("ghost", "x")  # must not raise
+    sim.run()
+
+
+def test_duplicate_node_id_rejected(sim):
+    net = Network(sim)
+    Recorder("a", sim, net)
+    with pytest.raises(ConfigError):
+        Recorder("a", sim, net)
+
+
+def test_partition_blocks_cross_group_traffic(sim):
+    net = Network(sim, latency=LanLatency())
+    a = Recorder("a", sim, net)
+    b = Recorder("b", sim, net)
+    c = Recorder("c", sim, net)
+    net.partition([["a", "b"], ["c"]])
+    a.send("b", "ok")
+    a.send("c", "blocked")
+    sim.run()
+    assert len(b.received) == 1
+    assert not c.received
+    net.heal()
+    a.send("c", "now")
+    sim.run()
+    assert len(c.received) == 1
+
+
+def test_message_loss_drops_probabilistically(sim):
+    net = Network(sim, latency=LanLatency(), drop_probability=0.5)
+    a = Recorder("a", sim, net)
+    b = Recorder("b", sim, net)
+    for _ in range(200):
+        a.send("b", "x")
+    sim.run()
+    assert 40 < len(b.received) < 160  # ~100 expected
+
+    assert sim.metrics.get("net.dropped.loss") > 0
+
+
+def test_traffic_is_accounted(sim):
+    net = Network(sim, latency=LanLatency())
+    a = Recorder("a", sim, net)
+    Recorder("b", sim, net)
+    a.send("b", "x")
+    assert sim.metrics.get("net.messages") == 1
+    assert sim.metrics.get("net.bytes") > 0
+
+
+def test_crashed_node_receives_nothing(sim):
+    net = Network(sim, latency=LanLatency())
+    a = Recorder("a", sim, net)
+    b = Recorder("b", sim, net)
+    b.crash()
+    a.send("b", "x")
+    sim.run()
+    assert not b.received
+    b.recover()
+    a.send("b", "y")
+    sim.run()
+    assert len(b.received) == 1
+
+
+def test_crashed_node_timers_do_not_fire(sim):
+    net = Network(sim, latency=LanLatency())
+    a = Recorder("a", sim, net)
+    fired = []
+    a.set_timer(1.0, lambda: fired.append(1))
+    a.crash()
+    sim.run()
+    assert not fired
+
+
+def test_timer_cancellation(sim):
+    net = Network(sim, latency=LanLatency())
+    a = Recorder("a", sim, net)
+    fired = []
+    timer = a.set_timer(1.0, lambda: fired.append(1))
+    timer.cancel()
+    sim.run()
+    assert not fired
+
+
+def test_crash_schedule_applies_actions(sim):
+    net = Network(sim, latency=LanLatency(base=0.001, jitter=0.0))
+    a = Recorder("a", sim, net)
+    b = Recorder("b", sim, net)
+    schedule = CrashSchedule().crash_at(1.0, "b").recover_at(2.0, "b")
+    schedule.apply(sim, {"a": a, "b": b})
+    sim.schedule_at(1.5, lambda: a.send("b", "while-down"))
+    sim.schedule_at(2.5, lambda: a.send("b", "after-up"))
+    sim.run()
+    assert [m for _, m, _ in b.received] == ["after-up"]
+
+
+def test_crash_schedule_rejects_unknown_node(sim):
+    net = Network(sim)
+    a = Recorder("a", sim, net)
+    with pytest.raises(ConfigError):
+        CrashSchedule().crash_at(1.0, "ghost").apply(sim, {"a": a})
+
+
+class TestWanLatency:
+    def test_cross_region_uses_matrix(self):
+        sim = Simulation(seed=1)
+        wan = WanLatency(
+            region_of={"a": "us", "b": "eu"},
+            matrix={("us", "eu"): 0.05},
+            jitter_fraction=0.0,
+        )
+        assert wan.sample(sim.rng, "a", "b") == pytest.approx(0.05)
+        assert wan.sample(sim.rng, "b", "a") == pytest.approx(0.05)
+
+    def test_same_region_uses_lan(self):
+        sim = Simulation(seed=1)
+        wan = WanLatency(
+            region_of={"a": "us", "b": "us"},
+            matrix={},
+            lan=LanLatency(base=0.001, jitter=0.0),
+        )
+        assert wan.sample(sim.rng, "a", "b") == pytest.approx(0.001)
+
+    def test_missing_pair_raises(self):
+        sim = Simulation(seed=1)
+        wan = WanLatency(region_of={"a": "us", "b": "asia"}, matrix={})
+        with pytest.raises(ConfigError):
+            wan.sample(sim.rng, "a", "b")
+
+
+def test_message_size_uses_attribute_or_default():
+    class Sized:
+        size_bytes = 1000
+
+    assert message_size(Sized()) == 1000
+    assert message_size("plain") == 256

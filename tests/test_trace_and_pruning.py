@@ -1,0 +1,169 @@
+"""Tests for network tracing and ledger checkpoint/pruning."""
+
+import pytest
+
+from repro.common.errors import LedgerError
+from repro.common.types import Transaction
+from repro.consensus import ConsensusCluster
+from repro.consensus.pbft import PbftReplica
+from repro.consensus.raft import RaftReplica
+from repro.execution.contracts import standard_registry
+from repro.execution.serial import execute_block_serially
+from repro.ledger.chain import Blockchain
+from repro.ledger.pruning import PrunedLedger, StateCheckpoint, digest_state
+from repro.ledger.store import StateStore
+from repro.sim.trace import NetworkTracer
+
+
+class TestNetworkTracer:
+    def _traced_pbft_run(self, decisions=3):
+        cluster = ConsensusCluster(PbftReplica, n=4, seed=71)
+        tracer = NetworkTracer.attach(cluster.network)
+        for i in range(decisions):
+            cluster.submit(f"v{i}")
+        assert cluster.run_until_decided(decisions, timeout=30)
+        return cluster, tracer
+
+    def test_trace_matches_network_metrics(self):
+        cluster, tracer = self._traced_pbft_run()
+        assert len(tracer) == cluster.message_count()
+
+    def test_pbft_speaks_its_three_phases(self):
+        _, tracer = self._traced_pbft_run()
+        summary = tracer.summary()
+        assert summary.get("PrePrepare", 0) > 0
+        assert summary.get("Prepare", 0) > 0
+        assert summary.get("Commit", 0) > 0
+        # No view change happened on the happy path.
+        assert "ViewChange" not in summary
+
+    def test_phase_message_ratios(self):
+        """Per decision at n=4: 3 pre-prepares, prepares from the three
+        non-leaders (9 on the wire), commits from all four (12)."""
+        _, tracer = self._traced_pbft_run(decisions=4)
+        summary = tracer.summary()
+        assert summary["Prepare"] == 3 * summary["PrePrepare"]
+        assert summary["Commit"] == 4 * summary["PrePrepare"]
+
+    def test_raft_trace_is_leader_centric(self):
+        cluster = ConsensusCluster(RaftReplica, n=3, byzantine=False, seed=72)
+        tracer = NetworkTracer.attach(cluster.network)
+        for i in range(3):
+            cluster.submit(f"v{i}")
+        assert cluster.run_until_decided(3, timeout=30)
+        fan_out = tracer.fan_out()
+        from repro.consensus.raft import Role
+
+        leader = next(
+            rid for rid, r in cluster.replicas.items() if r.role is Role.LEADER
+        )
+        # The leader sends the most messages (heartbeats + replication).
+        assert fan_out[leader] == max(fan_out.values())
+
+    def test_filters(self):
+        _, tracer = self._traced_pbft_run()
+        prepares = tracer.of_type("Prepare")
+        assert prepares and all(
+            e.message_type == "Prepare" for e in prepares
+        )
+        r0_traffic = tracer.involving("r0")
+        assert all("r0" in (e.src, e.dst) for e in r0_traffic)
+        early = tracer.between(0.0, 0.001)
+        assert all(e.time < 0.001 for e in early)
+
+    def test_timeline_renders(self):
+        _, tracer = self._traced_pbft_run()
+        text = tracer.timeline(limit=5)
+        assert "->" in text
+        assert "more" in text  # truncated
+
+
+def build_chain_and_state(blocks=6, txs_per_block=4):
+    chain = Blockchain()
+    store = StateStore()
+    registry = standard_registry()
+    counter = 0
+    for _ in range(blocks):
+        txs = [
+            Transaction.create("increment", (f"k{(counter + i) % 5}",))
+            for i in range(txs_per_block)
+        ]
+        counter += txs_per_block
+        block = chain.next_block(txs)
+        chain.append(block)
+        execute_block_serially(block, store, registry)
+    return chain, store, registry
+
+
+class TestCheckpointAndPruning:
+    def test_checkpoint_roundtrip(self):
+        _, store, _ = build_chain_and_state()
+        checkpoint = StateCheckpoint.capture(store, height=6)
+        assert checkpoint.verify()
+        restored = checkpoint.restore()
+        assert restored.same_state_as(store)
+
+    def test_tampered_checkpoint_refuses_restore(self):
+        _, store, _ = build_chain_and_state()
+        checkpoint = StateCheckpoint.capture(store, height=6)
+        tampered = StateCheckpoint(
+            height=6,
+            state_digest=checkpoint.state_digest,
+            state={**checkpoint.state, "k0": 999_999},
+        )
+        assert not tampered.verify()
+        with pytest.raises(LedgerError):
+            tampered.restore()
+
+    def test_state_digest_is_order_independent(self):
+        assert digest_state({"a": 1, "b": 2}) == digest_state({"b": 2, "a": 1})
+        assert digest_state({"a": 1}) != digest_state({"a": 2})
+
+    def test_pruning_keeps_tip_and_headers(self):
+        chain, store, _ = build_chain_and_state()
+        mid_store = StateStore()
+        registry = standard_registry()
+        for height in range(1, 4):
+            execute_block_serially(chain.block(height), mid_store, registry)
+        checkpoint = StateCheckpoint.capture(mid_store, height=3)
+        pruned = PrunedLedger.prune(chain, checkpoint)
+        pruned.verify()
+        assert pruned.tip_hash() == chain.tip_hash()
+        assert pruned.height == chain.height
+        assert pruned.storage_blocks() == 3  # bodies 4..6 only
+
+    def test_pruned_bodies_raise_retained_bodies_serve(self):
+        chain, store, _ = build_chain_and_state()
+        mid_store = StateStore()
+        registry = standard_registry()
+        for height in range(1, 4):
+            execute_block_serially(chain.block(height), mid_store, registry)
+        checkpoint = StateCheckpoint.capture(mid_store, height=3)
+        pruned = PrunedLedger.prune(chain, checkpoint)
+        with pytest.raises(LedgerError):
+            pruned.block(2)
+        assert pruned.block(5).header == chain.block(5).header
+        with pytest.raises(LedgerError):
+            pruned.block(99)
+
+    def test_rebuild_state_matches_full_replica(self):
+        chain, full_store, registry = build_chain_and_state()
+        mid_store = StateStore()
+        for height in range(1, 4):
+            execute_block_serially(chain.block(height), mid_store, registry)
+        checkpoint = StateCheckpoint.capture(mid_store, height=3)
+        pruned = PrunedLedger.prune(chain, checkpoint)
+        rebuilt = pruned.rebuild_state(registry, execute_block_serially)
+        assert rebuilt.same_state_as(full_store)
+
+    def test_prune_rejects_bad_checkpoint(self):
+        chain, store, _ = build_chain_and_state()
+        bad = StateCheckpoint(height=3, state_digest="bogus", state={})
+        with pytest.raises(LedgerError):
+            PrunedLedger.prune(chain, bad)
+
+    def test_prune_rejects_out_of_range_height(self):
+        chain, store, _ = build_chain_and_state()
+        checkpoint = StateCheckpoint.capture(store, height=99)
+        with pytest.raises(LedgerError):
+            PrunedLedger.prune(chain, checkpoint)

@@ -1,0 +1,280 @@
+"""Tests for the verifiability techniques (section 2.3.2):
+zero-knowledge proofs, Quorum private transactions, Separ tokens."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import CryptoError, ValidationError
+from repro.common.types import Transaction
+from repro.crypto.commitments import PedersenCommitment, PedersenParams
+from repro.crypto.group import simulation_group
+from repro.verifiability import (
+    BitProof,
+    OpeningProof,
+    PrivateWallet,
+    QuorumConfig,
+    QuorumSystem,
+    RangeProof,
+    SchnorrProof,
+    SeparConfig,
+    SeparSystem,
+    TokenAuthority,
+)
+from repro.workloads.crowdworking import WorkClaim
+
+
+@pytest.fixture(scope="module")
+def group():
+    return simulation_group()
+
+
+@pytest.fixture(scope="module")
+def params(group):
+    return PedersenParams.create(group)
+
+
+class TestSchnorrProof:
+    def test_valid_proof_verifies(self, group):
+        proof = SchnorrProof.prove(group, 777, "ctx")
+        assert proof.verify(group, group.exp(group.g, 777), "ctx")
+
+    def test_wrong_public_key_rejected(self, group):
+        proof = SchnorrProof.prove(group, 777, "ctx")
+        assert not proof.verify(group, group.exp(group.g, 778), "ctx")
+
+    def test_context_binding(self, group):
+        """A proof for one context cannot be replayed in another."""
+        proof = SchnorrProof.prove(group, 777, "tx-1")
+        assert not proof.verify(group, group.exp(group.g, 777), "tx-2")
+
+    def test_non_element_public_key_rejected(self, group):
+        proof = SchnorrProof.prove(group, 777)
+        assert not proof.verify(group, 0)
+
+
+class TestOpeningProof:
+    def test_valid_opening_verifies(self, params):
+        r = params.random_blinding()
+        commitment = params.commit(9, r)
+        proof = OpeningProof.prove(params, 9, r, "c")
+        assert proof.verify(params, commitment, "c")
+
+    def test_wrong_commitment_rejected(self, params):
+        r = params.random_blinding()
+        proof = OpeningProof.prove(params, 9, r, "c")
+        assert not proof.verify(params, params.commit(10, r), "c")
+
+
+class TestBitProof:
+    @pytest.mark.parametrize("bit", [0, 1])
+    def test_bits_prove_and_verify(self, params, bit):
+        r = params.random_blinding()
+        proof = BitProof.prove(params, bit, r, "b")
+        assert proof.verify(params, params.commit(bit, r), "b")
+
+    def test_proof_bound_to_its_commitment(self, params):
+        r = params.random_blinding()
+        proof = BitProof.prove(params, 1, r, "b")
+        assert not proof.verify(params, params.commit(2, r), "b")
+
+    def test_non_bit_rejected_at_proving(self, params):
+        with pytest.raises(CryptoError):
+            BitProof.prove(params, 2, params.random_blinding())
+
+
+class TestRangeProof:
+    def test_in_range_value_verifies(self, params):
+        r = params.random_blinding()
+        proof = RangeProof.prove(params, 200, r, bits=10, context="r")
+        assert proof.verify(params, params.commit(200, r), "r")
+
+    def test_boundaries(self, params):
+        r = params.random_blinding()
+        for value in (0, (1 << 10) - 1):
+            proof = RangeProof.prove(params, value, r, bits=10, context="r")
+            assert proof.verify(params, params.commit(value, r), "r")
+
+    def test_out_of_range_cannot_be_proven(self, params):
+        with pytest.raises(CryptoError):
+            RangeProof.prove(params, 1 << 10, params.random_blinding(), bits=10)
+        with pytest.raises(CryptoError):
+            RangeProof.prove(params, -1, params.random_blinding(), bits=10)
+
+    def test_negative_value_disguised_as_group_element_fails(self, params):
+        """The overdraft attack: commit to q - 5 ("-5") and try to pass a
+        range proof made for a different opening."""
+        r = params.random_blinding()
+        negative = params.commit(params.group.q - 5, r)
+        honest_proof = RangeProof.prove(params, 5, r, bits=10, context="r")
+        assert not honest_proof.verify(params, negative, "r")
+
+    def test_proof_does_not_transfer_between_commitments(self, params):
+        r1, r2 = params.random_blinding(), params.random_blinding()
+        proof = RangeProof.prove(params, 7, r1, bits=8, context="r")
+        assert not proof.verify(params, params.commit(7, r2), "r")
+
+
+class TestQuorum:
+    @pytest.fixture()
+    def network(self):
+        system = QuorumSystem(QuorumConfig(seed=3, range_bits=8))
+        alice = PrivateWallet("alice", system.params)
+        bob = PrivateWallet("bob", system.params)
+        system.register_account(
+            "acc:alice", alice.open_account("acc:alice", 200), alice.public_key
+        )
+        system.register_account(
+            "acc:bob", bob.open_account("acc:bob", 10), bob.public_key
+        )
+        return system, alice, bob
+
+    def test_private_transfer_commits(self, network):
+        system, alice, bob = network
+        transfer, amount, blinding = alice.build_transfer(
+            "acc:alice", "acc:bob", 25, bits=8
+        )
+        bob.receive("acc:bob", amount, blinding)
+        system.submit_private(transfer)
+        result = system.run()
+        assert result.committed == 1
+        assert result.extra["quorum.private_commits"] == 1
+
+    def test_onchain_commitments_track_balances(self, network):
+        system, alice, bob = network
+        transfer, amount, blinding = alice.build_transfer(
+            "acc:alice", "acc:bob", 25, bits=8
+        )
+        bob.receive("acc:bob", amount, blinding)
+        system.submit_private(transfer)
+        system.run()
+        bob_onchain = PedersenCommitment(
+            params=system.params, point=system.commitments["acc:bob"]
+        )
+        assert bob_onchain.verify_opening(
+            bob.balance("acc:bob"), bob._blindings["acc:bob"]
+        )
+
+    def test_wallet_refuses_overdraft(self, network):
+        _, alice, _ = network
+        with pytest.raises(CryptoError):
+            alice.build_transfer("acc:alice", "acc:bob", 999, bits=8)
+
+    def test_forged_amount_commitment_rejected(self, network):
+        system, alice, _ = network
+        transfer, _, _ = alice.build_transfer("acc:alice", "acc:bob", 5, bits=8)
+        forged = dataclasses.replace(
+            transfer, amount_commitment=system.params.commit(120, 1).point
+        )
+        assert not system.verify_private(forged)
+
+    def test_unauthorized_sender_rejected(self, network):
+        system, alice, bob = network
+        # Bob crafts a transfer from Alice's account with HIS key.
+        mallory = PrivateWallet("mallory", system.params)
+        mallory._balances["acc:alice"] = 200
+        mallory._blindings["acc:alice"] = 0  # wrong blinding AND wrong key
+        transfer, _, _ = mallory.build_transfer("acc:alice", "acc:bob", 5, bits=8)
+        assert not system.verify_private(transfer)
+
+    def test_public_and_private_ordered_together(self, network):
+        system, alice, bob = network
+        transfer, amount, blinding = alice.build_transfer(
+            "acc:alice", "acc:bob", 5, bits=8
+        )
+        bob.receive("acc:bob", amount, blinding)
+        system.submit_private(transfer)
+        system.submit_public(Transaction.create("increment", ("counter",)))
+        result = system.run()
+        assert result.committed == 2
+        assert system.store.get("counter") == 1
+
+    def test_amounts_never_on_chain(self, network):
+        system, alice, bob = network
+        transfer, amount, blinding = alice.build_transfer(
+            "acc:alice", "acc:bob", 25, bits=8
+        )
+        bob.receive("acc:bob", amount, blinding)
+        system.submit_private(transfer)
+        system.run()
+        for tx in system.ledger.all_transactions():
+            # The on-ledger marker carries only opaque identifiers —
+            # never a numeric amount or balance.
+            assert all(isinstance(arg, str) for arg in tx.args)
+            assert 25 not in tx.args
+
+
+class TestSepar:
+    @pytest.fixture()
+    def deployment(self):
+        authority = TokenAuthority()
+        system = SeparSystem(["p0", "p1", "p2"], authority, SeparConfig(seed=4))
+        return authority, system
+
+    def test_valid_claim_commits(self, deployment):
+        authority, system = deployment
+        tokens = authority.issue("w0", 0, 8)
+        claim = SeparSystem.tokenize(WorkClaim("w0", "p0", "t", 8, 0), tokens)
+        system.submit(claim)
+        result = system.run()
+        assert result.committed == 1
+
+    def test_token_count_must_match_hours(self, deployment):
+        authority, _ = deployment
+        tokens = authority.issue("w0", 0, 3)
+        with pytest.raises(ValidationError):
+            SeparSystem.tokenize(WorkClaim("w0", "p0", "t", 8, 0), tokens)
+
+    def test_double_spend_across_platforms_rejected(self, deployment):
+        authority, system = deployment
+        tokens = authority.issue("w0", 0, 4)
+        first = SeparSystem.tokenize(WorkClaim("w0", "p0", "t", 4, 0), tokens)
+        second = SeparSystem.tokenize(WorkClaim("w0", "p1", "u", 4, 0), tokens)
+        system.submit(first)
+        system.submit(second)
+        result = system.run()
+        assert result.committed == 1
+        assert "double_spend" in set(system.rejection_reasons().values())
+
+    def test_forged_tokens_rejected(self, deployment):
+        authority, system = deployment
+        rogue = TokenAuthority()  # attacker's own authority
+        tokens = rogue.issue("w0", 0, 2)
+        claim = SeparSystem.tokenize(WorkClaim("w0", "p0", "t", 2, 0), tokens)
+        system.submit(claim)
+        system.run()
+        assert system.rejection_reasons() != {}
+        assert "forged_token" in set(system.rejection_reasons().values())
+
+    def test_issuance_cap_enforces_flsa(self, deployment):
+        """The authority will not issue a worker more than 40 hour-tokens
+        per week, no matter how the request is split."""
+        authority, _ = deployment
+        authority.issue("w0", 0, 30)
+        authority.issue("w0", 0, 10)
+        with pytest.raises(ValidationError):
+            authority.issue("w0", 0, 1)
+
+    def test_tokens_carry_no_worker_identity(self, deployment):
+        authority, _ = deployment
+        tokens = authority.issue("worker-identity-xyz", 0, 3)
+        for token in tokens:
+            assert "worker-identity-xyz" not in repr(token)
+
+    def test_receipts_prove_hours(self, deployment):
+        authority, system = deployment
+        tokens = authority.issue("w0", 0, 26)
+        claim = SeparSystem.tokenize(WorkClaim("w0", "p0", "t", 26, 0), tokens)
+        system.submit(claim)
+        system.run()
+        serials = [t.serial for t in tokens]
+        assert system.hours_proven_by(serials) == 26
+        assert system.hours_proven_by(["fake"]) == 0
+
+    def test_wrong_week_token_rejected(self, deployment):
+        authority, system = deployment
+        stale = authority.issue("w0", 0, 2)
+        claim = SeparSystem.tokenize(WorkClaim("w0", "p0", "t", 2, week=1), stale)
+        system.submit(claim)
+        system.run()
+        assert "wrong_week_token" in set(system.rejection_reasons().values())

@@ -1,0 +1,102 @@
+"""Equality proofs and the Tendermint equivocation attack."""
+
+import pytest
+
+from repro.consensus import ConsensusCluster
+from repro.consensus.attacks import EquivocatingTendermintValidator
+from repro.consensus.tendermint import TendermintReplica
+from repro.crypto.commitments import PedersenParams
+from repro.crypto.group import simulation_group
+from repro.verifiability.zkp import EqualityProof
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PedersenParams.create(simulation_group())
+
+
+class TestEqualityProof:
+    def test_equal_values_verify(self, params):
+        r1, r2 = params.random_blinding(), params.random_blinding()
+        c1, c2 = params.commit(77, r1), params.commit(77, r2)
+        proof = EqualityProof.prove(params, r1, r2, c1, c2, "ctx")
+        assert proof.verify(params, c1, c2, "ctx")
+
+    def test_unequal_values_fail(self, params):
+        r1, r2 = params.random_blinding(), params.random_blinding()
+        c1, c2 = params.commit(77, r1), params.commit(78, r2)
+        proof = EqualityProof.prove(params, r1, r2, c1, c2, "ctx")
+        assert not proof.verify(params, c1, c2, "ctx")
+
+    def test_context_binding(self, params):
+        r1, r2 = params.random_blinding(), params.random_blinding()
+        c1, c2 = params.commit(5, r1), params.commit(5, r2)
+        proof = EqualityProof.prove(params, r1, r2, c1, c2, "tx-1")
+        assert not proof.verify(params, c1, c2, "tx-2")
+
+    def test_proof_not_transferable_to_other_commitments(self, params):
+        r1, r2, r3 = (params.random_blinding() for _ in range(3))
+        c1, c2 = params.commit(5, r1), params.commit(5, r2)
+        c3 = params.commit(5, r3)
+        proof = EqualityProof.prove(params, r1, r2, c1, c2, "ctx")
+        assert not proof.verify(params, c1, c3, "ctx")
+
+    def test_sender_receiver_consistency_scenario(self, params):
+        """The intended use: sender and receiver each record a committed
+        amount; an auditor checks they match without learning it."""
+        amount = 1234
+        r_sender = params.random_blinding()
+        r_receiver = params.random_blinding()
+        sender_record = params.commit(amount, r_sender)
+        receiver_record = params.commit(amount, r_receiver)
+        proof = EqualityProof.prove(
+            params, r_sender, r_receiver, sender_record, receiver_record,
+            "settlement-42",
+        )
+        assert proof.verify(
+            params, sender_record, receiver_record, "settlement-42"
+        )
+
+
+def tendermint_factory(byzantine_id):
+    def factory(node_id, sim, network, config, on_decide):
+        cls = (
+            EquivocatingTendermintValidator
+            if node_id == byzantine_id
+            else TendermintReplica
+        )
+        return cls(
+            node_id=node_id, sim=sim, network=network, config=config,
+            on_decide=on_decide,
+        )
+
+    return factory
+
+
+class TestTendermintEquivocation:
+    @pytest.mark.parametrize("seed", [61, 62, 63])
+    def test_one_equivocator_cannot_break_safety(self, seed):
+        cluster = ConsensusCluster(tendermint_factory("r3"), n=4, seed=seed)
+        for i in range(5):
+            cluster.submit(f"v{i}", via="r0")
+        cluster.run_until_decided(5, timeout=120)
+        assert cluster.agreement_holds()
+
+    def test_liveness_with_honest_supermajority(self):
+        cluster = ConsensusCluster(tendermint_factory("r3"), n=4, seed=64)
+        for i in range(5):
+            cluster.submit(f"v{i}", via="r0")
+        assert cluster.run_until_decided(5, timeout=120)
+        for replica in cluster.correct_replicas():
+            assert len(replica.decided) == 5
+
+    def test_high_stake_equivocator_stalls_but_never_forks(self):
+        """An equivocator holding > 1/3 stake can block progress, but
+        safety (no divergent decisions) must still hold."""
+        cluster = ConsensusCluster(
+            tendermint_factory("r0"), n=4, seed=65,
+            weights={"r0": 10, "r1": 3, "r2": 3, "r3": 3},
+        )
+        cluster.submit("contested", via="r1")
+        cluster.run_until_decided(1, timeout=15)
+        assert cluster.agreement_holds()
