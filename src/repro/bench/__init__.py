@@ -1,15 +1,30 @@
 """Benchmark harness utilities shared by everything under ``benchmarks/``."""
 
 from repro.bench.export import to_csv, to_markdown
-from repro.bench.harness import compare_systems, run_architecture, sweep
+from repro.bench.harness import (
+    WORKERS_ENV,
+    compare_systems,
+    compare_systems_parallel,
+    env_workers,
+    run_architecture,
+    sweep,
+    sweep_parallel,
+)
+from repro.bench.profiling import profiled, top_hotspots
 from repro.bench.reporting import format_table, print_table
 
 __all__ = [
+    "WORKERS_ENV",
     "compare_systems",
+    "compare_systems_parallel",
+    "env_workers",
     "format_table",
     "print_table",
+    "profiled",
     "run_architecture",
     "sweep",
+    "sweep_parallel",
     "to_csv",
     "to_markdown",
+    "top_hotspots",
 ]

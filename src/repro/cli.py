@@ -11,7 +11,14 @@ from __future__ import annotations
 
 import argparse
 
-from repro.bench import print_table, run_architecture
+from repro.bench import (
+    compare_systems,
+    compare_systems_parallel,
+    env_workers,
+    print_table,
+    profiled,
+    run_architecture,
+)
 from repro.common.types import Transaction
 from repro.consensus import PROTOCOLS, ConsensusCluster
 from repro.core import SYSTEMS, OxSystem, SystemConfig
@@ -44,17 +51,23 @@ def cmd_quickstart(args) -> None:
 
 
 def cmd_compare(args) -> None:
-    rows = []
-    for name in sorted(SYSTEMS):
-        workload = KvWorkload(
+    def make_workload():
+        return KvWorkload(
             n_keys=5000, theta=args.skew, read_fraction=0.3,
             rmw_fraction=0.5, seed=args.seed,
+        ).generate(args.txs)
+
+    def make_config():
+        return SystemConfig(block_size=50, seed=args.seed)
+
+    names = sorted(SYSTEMS)
+    workers = args.workers or env_workers()
+    if workers > 1:
+        rows = compare_systems_parallel(
+            names, make_workload, make_config, workers=workers
         )
-        result = run_architecture(
-            name, workload.generate(args.txs),
-            SystemConfig(block_size=50, seed=args.seed),
-        )
-        rows.append(result.to_row())
+    else:
+        rows = compare_systems(names, make_workload, make_config)
     print_table(rows, title=f"architectures at Zipf skew {args.skew}")
 
 
@@ -131,6 +144,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Permissioned blockchains (SIGMOD'21 tutorial) "
         "reproduction CLI",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="profile the command with cProfile and print the hotspots",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list runnable systems").set_defaults(
@@ -146,6 +163,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--skew", type=float, default=0.9)
     compare.add_argument("--txs", type=int, default=200)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--workers", type=int, default=0,
+        help="fan systems out over N worker processes "
+        "(default: $REPRO_BENCH_WORKERS, else serial)",
+    )
     compare.set_defaults(fn=cmd_compare)
 
     consensus = sub.add_parser("consensus", help="compare the 6 protocols")
@@ -166,7 +188,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    args.fn(args)
+    with profiled(enabled=args.profile):
+        args.fn(args)
     return 0
 
 

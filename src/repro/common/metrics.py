@@ -10,8 +10,8 @@ one canonical shape.
 from __future__ import annotations
 
 import math
-from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import Iterable
 
 
 class MetricsRegistry:
@@ -20,14 +20,34 @@ class MetricsRegistry:
     A registry is deliberately dumb: it never interprets names. Systems
     use dotted names such as ``"consensus.messages"`` or
     ``"xov.aborts.mvcc"`` so benchmarks can aggregate by prefix.
+
+    ``incr`` sits on the network send path, so the store is a plain
+    dict updated with one membership test — no ``defaultdict`` factory
+    machinery per miss. Counter values are always floats, matching the
+    old ``defaultdict(float)`` behavior.
     """
 
+    __slots__ = ("_counters",)
+
     def __init__(self) -> None:
-        self._counters: dict[str, float] = defaultdict(float)
+        self._counters: dict[str, float] = {}
 
     def incr(self, name: str, amount: float = 1.0) -> None:
         """Add ``amount`` to counter ``name`` (creating it at zero)."""
-        self._counters[name] += amount
+        counters = self._counters
+        if name in counters:
+            counters[name] += amount
+        else:
+            counters[name] = amount + 0.0
+
+    def incr_many(self, pairs: Iterable[tuple[str, float]]) -> None:
+        """Batch :meth:`incr`: apply ``(name, amount)`` pairs in order."""
+        counters = self._counters
+        for name, amount in pairs:
+            if name in counters:
+                counters[name] += amount
+            else:
+                counters[name] = amount + 0.0
 
     def get(self, name: str) -> float:
         """Current value of counter ``name`` (zero if never incremented)."""
@@ -50,15 +70,23 @@ class MetricsRegistry:
 
 
 class LatencyRecorder:
-    """Collects individual latency samples and reports percentiles."""
+    """Collects individual latency samples and reports percentiles.
+
+    The sorted view is computed lazily and cached: ``RunResult.to_row``
+    asks for ``mean``/``p50``/``p99`` back to back, and re-sorting the
+    sample list for each percentile was a visible benchmark cost. Any
+    new sample invalidates the cache.
+    """
 
     def __init__(self) -> None:
         self._samples: list[float] = []
+        self._sorted: list[float] | None = None
 
     def record(self, value: float) -> None:
         if value < 0:
             raise ValueError(f"latency sample must be non-negative, got {value}")
         self._samples.append(value)
+        self._sorted = None
 
     def extend(self, values) -> None:
         for value in values:
@@ -82,7 +110,9 @@ class LatencyRecorder:
             raise ValueError(f"percentile must be in [0, 100], got {pct}")
         if not self._samples:
             return 0.0
-        ordered = sorted(self._samples)
+        ordered = self._sorted
+        if ordered is None:
+            ordered = self._sorted = sorted(self._samples)
         rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
         return ordered[rank - 1]
 

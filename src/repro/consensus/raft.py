@@ -26,6 +26,16 @@ def _digest(value: Any) -> str:
     return sha256_hex(repr(value))
 
 
+#: Filler entry a new leader appends when its log ends in uncommitted
+#: entries from earlier terms (Raft paper §8). Such entries can never
+#: satisfy the current-term commit rule on their own, so without this a
+#: leader that already inherited every pending value from its crashed
+#: predecessor would stall forever. The no-op is decided like any other
+#: entry (sequence numbers are log indices) and simply carries a value
+#: no client ever submits.
+NOOP = "__raft_noop__"
+
+
 class Role(enum.Enum):
     FOLLOWER = "follower"
     CANDIDATE = "candidate"
@@ -227,6 +237,16 @@ class RaftReplica(ConsensusReplica):
         # Propose every undecided value this replica knows about.
         for value in list(self._requests.values()):
             self._leader_append(value)
+        # Raft §8 liveness: if the log still ends in uncommitted
+        # old-term entries (every pending value was already inherited
+        # from the deposed leader, so nothing new was appended above),
+        # drive them to commitment with a current-term no-op.
+        if (
+            self.log
+            and self.log[-1][0] != self.term
+            and len(self.log) - 1 > self.commit_index
+        ):
+            self.log.append((self.term, NOOP))
         self._start_heartbeats()
 
     def _step_down(self, term: int) -> None:

@@ -1,61 +1,126 @@
-"""The event heap at the heart of the simulator."""
+"""The event heap at the heart of the simulator.
+
+This is the hottest code in the repository — every message delivery,
+timer, and block cut in all sixteen experiments passes through here —
+so it trades a little abstraction for speed:
+
+* Heap entries are plain ``(time, seq, event)`` tuples. ``seq`` is a
+  per-queue insertion counter that is always unique, so heap ordering
+  resolves on the first two tuple slots and never falls through to
+  comparing :class:`Event` objects. Tuple comparison is a single C-level
+  operation, where the previous ``@dataclass(order=True)`` event built
+  two fresh tuples per comparison in Python.
+* :class:`Event` is a ``__slots__`` class: no per-instance ``__dict__``
+  to allocate on the schedule path.
+* Cancellation stays lazy (cancelled entries are dropped when they
+  surface at the heap top), but the queue tracks a live count so
+  ``len(queue)`` and :meth:`Simulation.pending_events` are O(1) instead
+  of an O(n) scan — and ``bool(queue)`` agrees with ``len(queue)``: a
+  queue holding only cancelled events is both falsy and zero-length.
+"""
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable
 
+_NO_ARGS: tuple = ()
 
-@dataclass(order=True)
+
 class Event:
     """A callback scheduled at a virtual time.
 
-    Events compare by ``(time, seq)``; ``seq`` is a global insertion
-    counter that breaks ties deterministically (first scheduled fires
-    first), which is what makes same-seed runs replay identically.
+    Events order by ``(time, seq)``; ``seq`` is an insertion counter
+    that breaks ties deterministically (first scheduled fires first),
+    which is what makes same-seed runs replay identically. The callback
+    is invoked as ``callback(*args)`` — carrying arguments on the event
+    lets hot callers (the network's delivery path) schedule a shared
+    bound method instead of allocating a fresh closure per message.
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple = _NO_ARGS,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self._queue: EventQueue | None = None
 
     def cancel(self) -> None:
-        self.cancelled = True
+        """Mark the event dead; idempotent, safe after it has fired."""
+        if not self.cancelled:
+            self.cancelled = True
+            queue = self._queue
+            if queue is not None:
+                # Still sitting in a heap: keep the live count exact.
+                queue._live -= 1
+                self._queue = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "live"
+        return f"Event(time={self.time!r}, seq={self.seq}, {state})"
 
 
 class EventQueue:
-    """A min-heap of events with lazy cancellation."""
+    """A min-heap of events with lazy cancellation and an O(1) length.
+
+    Invariant: ``_live`` counts entries in ``_heap`` that are neither
+    cancelled nor popped. ``push`` increments it; ``pop`` of a live
+    event and :meth:`Event.cancel` of a still-queued event decrement it;
+    pruning already-cancelled entries leaves it untouched.
+    """
+
+    __slots__ = ("_heap", "_seq", "_live")
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._live = 0
 
-    def push(self, time: float, callback: Callable[[], None]) -> Event:
-        event = Event(time=time, seq=next(self._counter), callback=callback)
-        heapq.heappush(self._heap, event)
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple = _NO_ARGS,
+    ) -> Event:
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, args)
+        event._queue = self
+        heapq.heappush(self._heap, (time, seq, event))
+        self._live += 1
         return event
 
     def pop(self) -> Event | None:
         """Next non-cancelled event, or None when the queue is drained."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
             if not event.cancelled:
+                self._live -= 1
+                event._queue = None
                 return event
         return None
 
     def peek_time(self) -> float | None:
         """Time of the next live event without removing it."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        if not self._heap:
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        return self._heap[0].time
+        return heap[0][0]
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return self._live
 
     def __bool__(self) -> bool:
-        return self.peek_time() is not None
+        return self._live > 0

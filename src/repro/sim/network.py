@@ -9,7 +9,7 @@ pluggable latency models and a per-node region map.
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.common.errors import ConfigError
 
@@ -25,10 +25,12 @@ def message_size(message: object) -> int:
     """Modelled wire size of a message.
 
     Messages may expose ``size_bytes`` (an int attribute or property);
-    anything else is charged :data:`DEFAULT_MESSAGE_BYTES`.
+    anything else — including ``bool``, which is an ``int`` subclass and
+    would otherwise charge ``True`` as a 1-byte wire size — is charged
+    :data:`DEFAULT_MESSAGE_BYTES`.
     """
     size = getattr(message, "size_bytes", None)
-    if isinstance(size, int) and size > 0:
+    if type(size) is int and size > 0:
         return size
     return DEFAULT_MESSAGE_BYTES
 
@@ -112,12 +114,17 @@ class Network:
         self.latency = latency or LanLatency()
         self.drop_probability = drop_probability
         self._nodes: dict[str, "Node"] = {}
+        # Bound delivery methods, cached at join time: the send hot path
+        # schedules these directly instead of allocating a closure per
+        # message (``deliver`` itself checks the crashed flag on fire).
+        self._delivers: dict[str, Callable[[str, object], None]] = {}
         self._partition_of: dict[str, int] = {}
 
     def join(self, node: "Node") -> None:
         if node.node_id in self._nodes:
             raise ConfigError(f"duplicate node id on network: {node.node_id}")
         self._nodes[node.node_id] = node
+        self._delivers[node.node_id] = node.deliver
 
     def node(self, node_id: str) -> "Node":
         try:
@@ -152,25 +159,64 @@ class Network:
         dropped silently — exactly what a sender observes in a real
         asynchronous network.
         """
-        self.sim.metrics.incr("net.messages")
-        self.sim.metrics.incr("net.bytes", message_size(message))
-        if dst not in self._nodes:
+        sim = self.sim
+        metrics = sim.metrics
+        metrics.incr("net.messages")
+        metrics.incr("net.bytes", message_size(message))
+        deliver = self._delivers.get(dst)
+        if deliver is None:
             return
-        if self._partitioned(src, dst):
-            self.sim.metrics.incr("net.dropped.partition")
+        if self._partition_of and self._partitioned(src, dst):
+            metrics.incr("net.dropped.partition")
             return
-        if self.drop_probability and self.sim.rng.random() < self.drop_probability:
-            self.sim.metrics.incr("net.dropped.loss")
+        rng = sim.rng
+        if self.drop_probability and rng.random() < self.drop_probability:
+            metrics.incr("net.dropped.loss")
             return
-        delay = self.latency.sample(self.sim.rng, src, dst)
-        destination = self._nodes[dst]
-        self.sim.schedule(delay, lambda: destination.deliver(src, message))
+        sim.schedule(self.latency.sample(rng, src, dst), deliver, src, message)
 
     def broadcast(
         self, src: str, message: object, targets: Iterable[str] | None = None
     ) -> None:
-        """Send ``message`` to every target (default: all other nodes)."""
+        """Send ``message`` to every target (default: all other nodes).
+
+        Equivalent to one :meth:`send` per target but a single pass:
+        the wire size is computed once and the traffic counters are
+        charged in one batch. Per-target RNG draws (loss, latency)
+        happen in the same order as serial sends, so same-seed runs are
+        bit-for-bit identical either way.
+        """
         if targets is None:
             targets = [nid for nid in self._nodes if nid != src]
+        elif not isinstance(targets, (list, tuple)):
+            targets = list(targets)
+        sim = self.sim
+        metrics = sim.metrics
+        n = len(targets)
+        metrics.incr_many(
+            (("net.messages", n), ("net.bytes", n * message_size(message)))
+        )
+        delivers = self._delivers
+        partition_of = self._partition_of
+        drop_probability = self.drop_probability
+        rng = sim.rng
+        random_ = rng.random
+        sample = self.latency.sample
+        # Push delivery events straight onto the queue: latency samples
+        # are non-negative by the LatencyModel contract, so the
+        # schedule() guard is redundant here, and one (src, message)
+        # args tuple is shared by every delivery event of the round.
+        push = sim._queue.push
+        now = sim._now
+        args = (src, message)
         for dst in targets:
-            self.send(src, dst, message)
+            deliver = delivers.get(dst)
+            if deliver is None:
+                continue
+            if partition_of and partition_of.get(src) != partition_of.get(dst):
+                metrics.incr("net.dropped.partition")
+                continue
+            if drop_probability and random_() < drop_probability:
+                metrics.incr("net.dropped.loss")
+                continue
+            push(now + sample(rng, src, dst), deliver, args)

@@ -42,10 +42,12 @@ class NetworkTracer:
     @classmethod
     def attach(cls, network: Network) -> "NetworkTracer":
         tracer = cls()
+        events = tracer.events
         original_send = network.send
+        original_broadcast = network.broadcast
 
         def traced_send(src: str, dst: str, message: object) -> None:
-            tracer.events.append(
+            events.append(
                 TraceEvent(
                     time=network.sim.now,
                     src=src,
@@ -56,7 +58,32 @@ class NetworkTracer:
             )
             original_send(src, dst, message)
 
+        # broadcast no longer funnels through send (it batches the
+        # per-target work), so it is traced separately: one event per
+        # target, exactly as the equivalent serial sends would record.
+        def traced_broadcast(src: str, message: object, targets=None) -> None:
+            resolved = (
+                [nid for nid in network.node_ids if nid != src]
+                if targets is None
+                else list(targets)
+            )
+            now = network.sim.now
+            message_type = type(message).__name__
+            size = message_size(message)
+            for dst in resolved:
+                events.append(
+                    TraceEvent(
+                        time=now,
+                        src=src,
+                        dst=dst,
+                        message_type=message_type,
+                        size_bytes=size,
+                    )
+                )
+            original_broadcast(src, message, resolved)
+
         network.send = traced_send  # type: ignore[method-assign]
+        network.broadcast = traced_broadcast  # type: ignore[method-assign]
         return tracer
 
     def __len__(self) -> int:

@@ -1,0 +1,101 @@
+"""The parallel harness must be a drop-in for the serial one:
+identical rows, identical order, and loud (not hanging) failures."""
+
+import pytest
+
+from repro.bench import (
+    WORKERS_ENV,
+    compare_systems,
+    compare_systems_parallel,
+    run_architecture,
+    sweep,
+    sweep_parallel,
+)
+from repro.bench.harness import env_workers
+from repro.core import SystemConfig
+from repro.workloads import KvWorkload
+
+
+def _skew_runner(theta):
+    return run_architecture(
+        "ox",
+        KvWorkload(theta=theta, seed=21).generate(30),
+        SystemConfig(block_size=10, seed=21),
+    )
+
+
+class TestSweepParallel:
+    def test_rows_identical_to_serial_sweep(self):
+        grid = [0.0, 0.5, 0.9]
+        serial = sweep("skew", grid, _skew_runner)
+        parallel = sweep_parallel("skew", grid, _skew_runner, workers=2)
+        assert parallel == serial
+
+    def test_lambda_runner_and_extra_fields(self):
+        # Runners are typically closures; fork-based workers must cope,
+        # and extra_fields must run in the parent with full results.
+        grid = [10, 20]
+        make = lambda n: run_architecture(  # noqa: E731
+            "ox",
+            KvWorkload(seed=22).generate(n),
+            SystemConfig(block_size=10, seed=22),
+        )
+        extra = lambda result: {"double": result.committed * 2}  # noqa: E731
+        serial = sweep("txs", grid, make, extra_fields=extra)
+        parallel = sweep_parallel(
+            "txs", grid, make, extra_fields=extra, workers=2
+        )
+        assert parallel == serial
+        assert [row["double"] for row in parallel] == [20, 40]
+
+    def test_worker_exception_surfaces_clear_error(self):
+        def exploding(value):
+            if value == 2:
+                raise ValueError("boom at point 2")
+            return _skew_runner(0.0)
+
+        with pytest.raises(RuntimeError, match="point 2"):
+            sweep_parallel("x", [1, 2, 3], exploding, workers=2)
+
+    def test_dead_worker_raises_instead_of_hanging(self):
+        import os
+
+        def hard_exit(value):
+            os._exit(13)
+
+        with pytest.raises(RuntimeError, match="worker process died"):
+            sweep_parallel("x", [1, 2], hard_exit, workers=2)
+
+    def test_single_point_grid_runs_serially(self):
+        rows = sweep_parallel("skew", [0.5], _skew_runner, workers=4)
+        assert rows == sweep("skew", [0.5], _skew_runner)
+
+
+class TestCompareSystemsParallel:
+    def test_rows_identical_to_serial_compare(self):
+        kwargs = dict(
+            make_workload=lambda: KvWorkload(seed=23).generate(20),
+            make_config=lambda: SystemConfig(block_size=10, seed=23),
+        )
+        names = ["ox", "oxii", "xov"]
+        serial = compare_systems(names, **kwargs)
+        parallel = compare_systems_parallel(names, workers=2, **kwargs)
+        assert parallel == serial
+        assert [row["system"] for row in parallel] == names
+
+
+class TestWorkersEnvOptIn:
+    def test_unset_or_small_means_serial(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert env_workers() == 0
+        monkeypatch.setenv(WORKERS_ENV, "1")
+        assert env_workers() == 0
+        monkeypatch.setenv(WORKERS_ENV, "not-a-number")
+        assert env_workers() == 0
+
+    def test_env_opts_sweep_into_parallel(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        serial = sweep("skew", [0.0, 0.9], _skew_runner)
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        assert env_workers() == 2
+        assert sweep("skew", [0.0, 0.9], _skew_runner) == serial

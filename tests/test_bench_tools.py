@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.bench import compare_systems, format_table, run_architecture, sweep
+from repro.bench import (
+    compare_systems,
+    format_table,
+    profiled,
+    run_architecture,
+    sweep,
+    top_hotspots,
+)
 from repro.bench.export import to_csv, to_markdown
 from repro.common.errors import ConfigError
 from repro.core import SystemConfig
@@ -52,6 +59,33 @@ class TestHarness:
             make_config=lambda: SystemConfig(block_size=10, seed=4),
         )
         assert [row["system"] for row in rows] == ["ox", "oxii"]
+
+
+class TestProfiling:
+    def test_profiled_prints_hotspots(self):
+        import io
+
+        out = io.StringIO()
+        with profiled(top=5, stream=out) as profiler:
+            run_architecture(
+                "ox",
+                KvWorkload(seed=9).generate(20),
+                SystemConfig(block_size=10, seed=9),
+            )
+        report = out.getvalue()
+        assert "cumulative" in report
+        assert "function calls" in report
+        rows = top_hotspots(profiler, n=3)
+        assert len(rows) == 3
+        assert all(
+            {"function", "calls", "tottime", "cumtime"} <= set(row)
+            for row in rows
+        )
+
+    def test_profiled_disabled_is_noop(self):
+        with profiled(enabled=False) as profiler:
+            pass
+        assert profiler is None
 
 
 class TestReporting:

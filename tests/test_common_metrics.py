@@ -34,6 +34,23 @@ class TestMetricsRegistry:
         metrics.reset()
         assert metrics.get("x") == 0
 
+    def test_incr_many_batch_matches_individual_incrs(self):
+        batched = MetricsRegistry()
+        batched.incr_many([("net.messages", 3), ("net.bytes", 768),
+                           ("net.messages", 1)])
+        individual = MetricsRegistry()
+        for name, amount in [("net.messages", 3), ("net.bytes", 768),
+                             ("net.messages", 1)]:
+            individual.incr(name, amount)
+        assert batched.snapshot() == individual.snapshot()
+
+    def test_counters_are_floats_like_before(self):
+        metrics = MetricsRegistry()
+        metrics.incr("a", 2)
+        metrics.incr_many([("b", 3)])
+        assert isinstance(metrics.get("a"), float)
+        assert isinstance(metrics.snapshot()["b"], float)
+
 
 class TestLatencyRecorder:
     def test_mean_of_samples(self):
@@ -63,6 +80,16 @@ class TestLatencyRecorder:
         rec.record(1.0)
         with pytest.raises(ValueError):
             rec.percentile(101)
+
+    def test_sorted_cache_invalidated_by_new_samples(self):
+        rec = LatencyRecorder()
+        rec.extend([3.0, 1.0, 2.0])
+        assert rec.p50() == 2.0  # populates the sorted cache
+        rec.record(0.5)  # must invalidate it
+        assert rec.percentile(25) == 0.5
+        assert rec.p99() == 3.0
+        rec.extend([10.0])
+        assert rec.p99() == 10.0
 
 
 class TestRunResult:

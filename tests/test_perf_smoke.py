@@ -1,0 +1,67 @@
+"""Tier-1 perf smoke: catch gross simulator-core regressions fast.
+
+The event-loop microbench in ``benchmarks/bench_simcore.py`` tracks the
+real numbers (~800k events/sec on the overhauled core). This smoke test
+only guards against catastrophic regressions — an accidental O(n) scan
+per event, a debug hook left enabled — so the wall-clock ceilings are
+~50× looser than observed performance and will not flake on slow CI.
+"""
+
+import time
+
+from repro.sim.core import Simulation
+from repro.sim.network import LanLatency, Network
+from repro.sim.node import Node
+
+EVENTS = 50_000
+EVENT_LOOP_CEILING_SECONDS = 5.0
+BROADCAST_CEILING_SECONDS = 5.0
+
+
+def test_event_loop_50k_under_ceiling():
+    sim = Simulation(seed=1)
+    rng = sim.rng
+
+    def tick():
+        sim.schedule(rng.random() * 0.01, tick)
+
+    for _ in range(500):
+        sim.schedule(rng.random() * 0.01, tick)
+    start = time.perf_counter()
+    processed = sim.run(max_events=EVENTS)
+    wall = time.perf_counter() - start
+    assert processed == EVENTS
+    assert wall < EVENT_LOOP_CEILING_SECONDS, (
+        f"{EVENTS} events took {wall:.2f}s "
+        f"({processed / wall:.0f} events/sec) — gross core regression"
+    )
+    assert sim.events_per_second > EVENTS / EVENT_LOOP_CEILING_SECONDS
+
+
+class _Sink(Node):
+    def on_message(self, src, message):
+        pass
+
+
+def test_broadcast_50k_sends_under_ceiling():
+    sim = Simulation(seed=2)
+    net = Network(sim, latency=LanLatency())
+    nodes = [_Sink(f"n{i}", sim, net) for i in range(11)]
+    rounds = EVENTS // 10
+    sent = [0]
+
+    def blast():
+        nodes[0].broadcast("x")
+        sent[0] += 10
+        if sent[0] < EVENTS:
+            sim.schedule(0.01, blast)
+
+    sim.schedule(0.0, blast)
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    assert sent[0] == rounds * 10
+    assert wall < BROADCAST_CEILING_SECONDS, (
+        f"{EVENTS} sends took {wall:.2f}s — gross transport regression"
+    )
+    assert sim.metrics.get("net.messages") == EVENTS

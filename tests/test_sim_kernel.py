@@ -42,6 +42,51 @@ class TestEventQueue:
         queue.push(5.0, lambda: None)
         assert queue.peek_time() == 5.0
 
+    def test_len_and_bool_agree_on_all_cancelled_queue(self):
+        # Regression: the O(n) __len__ counted live events while
+        # __bool__ peeked, so a queue of only-cancelled events used to
+        # be falsy yet "nonzero-length" mid-scan; both are now O(1)
+        # reads of the same live counter.
+        queue = EventQueue()
+        queue.push(1.0, lambda: None).cancel()
+        queue.push(2.0, lambda: None).cancel()
+        assert len(queue) == 0
+        assert not queue
+
+    def test_len_is_live_count_not_heap_size(self):
+        queue = EventQueue()
+        events = [queue.push(float(i), lambda: None) for i in range(5)]
+        events[1].cancel()
+        events[3].cancel()
+        assert len(queue) == 3
+        assert queue.pop() is events[0]
+        assert len(queue) == 2
+
+    def test_double_cancel_does_not_corrupt_live_count(self):
+        queue = EventQueue()
+        event = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+    def test_cancel_after_pop_does_not_corrupt_live_count(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert queue.pop() is first
+        first.cancel()  # e.g. a timer cancelled after it already fired
+        assert len(queue) == 1
+        assert queue.pop() is not None
+
+    def test_push_carries_callback_args(self):
+        queue = EventQueue()
+        seen = []
+        queue.push(1.0, lambda a, b: seen.append((a, b)), ("x", 2))
+        event = queue.pop()
+        event.callback(*event.args)
+        assert seen == [("x", 2)]
+
 
 class TestSimulation:
     def test_clock_advances_with_events(self):
@@ -99,6 +144,37 @@ class TestSimulation:
         sim.schedule(2.0, lambda: fired.append(1))
         sim.run()
         assert not fired
+
+    def test_schedule_passes_args_to_callback(self):
+        sim = Simulation()
+        seen = []
+        sim.schedule(1.0, seen.append, "first")
+        sim.schedule_at(2.0, seen.append, "second")
+        sim.run()
+        assert seen == ["first", "second"]
+
+    def test_cancelled_event_beyond_until_does_not_hide_live_ones(self):
+        # The run loop must prune cancelled heads *before* the `until`
+        # check: a dead event past the horizon must not stop the run
+        # while live events inside the horizon remain.
+        sim = Simulation()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append("far")).cancel()
+        sim.schedule(11.0, lambda: fired.append("near-miss"))
+        sim.schedule(1.0, lambda: fired.append("near"))
+        sim.run(until=5.0)
+        assert fired == ["near"]
+        assert sim.now == 5.0
+
+    def test_events_per_second_gauge_updates_after_run(self):
+        sim = Simulation()
+        for i in range(100):
+            sim.schedule(i * 0.01, lambda: None)
+        processed = sim.run()
+        assert processed == 100
+        assert sim.events_processed == 100
+        assert sim.events_per_second > 0
+        assert sim.last_run_wall_seconds >= 0
 
     def test_determinism_same_seed(self):
         def trace(seed):

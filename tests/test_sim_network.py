@@ -180,3 +180,58 @@ def test_message_size_uses_attribute_or_default():
 
     assert message_size(Sized()) == 1000
     assert message_size("plain") == 256
+
+
+def test_message_size_rejects_bool_and_bad_values():
+    # bool is an int subclass: a message with size_bytes=True used to be
+    # charged 1 byte on the wire instead of the default.
+    class BoolSized:
+        size_bytes = True
+
+    class ZeroSized:
+        size_bytes = 0
+
+    class FloatSized:
+        size_bytes = 99.5
+
+    assert message_size(BoolSized()) == 256
+    assert message_size(ZeroSized()) == 256
+    assert message_size(FloatSized()) == 256
+
+
+def test_broadcast_charges_same_traffic_as_individual_sends():
+    serial = Simulation(seed=5)
+    net_serial = Network(serial, latency=LanLatency())
+    for i in range(4):
+        Recorder(f"n{i}", serial, net_serial)
+    for dst in ("n1", "n2", "n3", "ghost"):
+        net_serial.send("n0", dst, "payload")
+    serial.run()
+
+    batched = Simulation(seed=5)
+    net_batched = Network(batched, latency=LanLatency())
+    nodes = [Recorder(f"n{i}", batched, net_batched) for i in range(4)]
+    net_batched.broadcast("n0", "payload", targets=["n1", "n2", "n3", "ghost"])
+    batched.run()
+
+    assert batched.metrics.snapshot() == serial.metrics.snapshot()
+    assert all(len(n.received) == 1 for n in nodes[1:])
+    # Same seed, same RNG draw order: identical delivery times too.
+    assert [n.received[0][2] for n in nodes[1:]] == [
+        t for _, _, t in
+        (net_serial.node(f"n{i}").received[0] for i in range(1, 4))
+    ]
+
+
+def test_broadcast_respects_partitions_and_accounts_drops(sim):
+    net = Network(sim, latency=LanLatency())
+    a = Recorder("a", sim, net)
+    b = Recorder("b", sim, net)
+    c = Recorder("c", sim, net)
+    net.partition([["a", "b"], ["c"]])
+    a.broadcast("ping")
+    sim.run()
+    assert len(b.received) == 1
+    assert not c.received
+    assert sim.metrics.get("net.dropped.partition") == 1
+    assert sim.metrics.get("net.messages") == 2
