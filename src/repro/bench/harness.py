@@ -137,7 +137,9 @@ def _sweep_rows(
     rows = []
     for value, result in zip(values, results):
         row: dict[str, Any] = {variable: value}
-        row.update(result.to_row())
+        # Runners usually return a RunResult; fault/resilience sweeps
+        # return ready-made dict rows (no single-system RunResult fits).
+        row.update(result.to_row() if hasattr(result, "to_row") else result)
         if extra_fields is not None:
             row.update(extra_fields(result))
         rows.append(row)

@@ -5,6 +5,7 @@
     python -m repro compare --skew 0.9   # OX/OXII/XOV + Fabric family
     python -m repro consensus --n 7      # protocol comparison
     python -m repro shard --clusters 4   # the four sharded systems
+    python -m repro resilience           # fault-injection sweep
 """
 
 from __future__ import annotations
@@ -95,6 +96,32 @@ def cmd_consensus(args) -> None:
     print_table(rows, title=f"consensus protocols ({args.txs} decisions)")
 
 
+def cmd_resilience(args) -> None:
+    from repro.bench.resilience import resilience_cases, sweep_resilience
+
+    protocols = args.protocols.split(",") if args.protocols else None
+    cases = resilience_cases(protocols)
+    rows = sweep_resilience(cases, workers=args.workers or env_workers())
+    display = [
+        {
+            "case": row["case"],
+            "model": row["fault_model"],
+            "recovered": row["recovered"],
+            "t_recover": row["time_to_recover"]
+            if row["time_to_recover"] is not None
+            else "-",
+            "committed": row["committed"],
+            "during_fault": row["decided_during_fault"],
+            "tput": row["throughput"],
+            "safe": row["safety_ok"],
+        }
+        for row in rows
+    ]
+    print_table(
+        display, title="resilience: crash / partition / loss fault regimes"
+    )
+
+
 _SHARD_SYSTEMS = {
     "sharper": SharPerSystem,
     "ahl": AhlSystem,
@@ -182,6 +209,21 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument("--txs", type=int, default=150)
     shard.add_argument("--seed", type=int, default=0)
     shard.set_defaults(fn=cmd_shard)
+
+    resilience = sub.add_parser(
+        "resilience",
+        help="sweep crash/partition/loss faults over the 6 protocols",
+    )
+    resilience.add_argument(
+        "--protocols", default="",
+        help="comma-separated subset (default: all six)",
+    )
+    resilience.add_argument(
+        "--workers", type=int, default=0,
+        help="fan fault cases out over N worker processes "
+        "(default: $REPRO_BENCH_WORKERS, else serial)",
+    )
+    resilience.set_defaults(fn=cmd_resilience)
 
     return parser
 

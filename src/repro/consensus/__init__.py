@@ -33,6 +33,13 @@ from repro.consensus.hybrid import (
     pure_byzantine_size,
 )
 from repro.consensus.ibft import IbftReplica
+from repro.consensus.monitors import (
+    ConflictingCommitMonitor,
+    GuardedRun,
+    PrefixConsistencyMonitor,
+    SafetyMonitor,
+    guarded_run_until_decided,
+)
 from repro.consensus.paxos import PaxosReplica
 from repro.consensus.pbft import EquivocatingPbftReplica, PbftReplica
 from repro.consensus.raft import RaftReplica
@@ -51,9 +58,13 @@ PROTOCOLS = {
 __all__ = [
     "PROTOCOLS",
     "ClusterConfig",
+    "ConflictingCommitMonitor",
     "ConsensusCluster",
     "ConsensusReplica",
     "DelayingPbftReplica",
+    "GuardedRun",
+    "PrefixConsistencyMonitor",
+    "SafetyMonitor",
     "EquivocatingPbftReplica",
     "HotStuffReplica",
     "IbftReplica",
@@ -64,6 +75,7 @@ __all__ = [
     "TendermintReplica",
     "WithholdingPbftReplica",
     "attacker_factory",
+    "guarded_run_until_decided",
     "hybrid_cluster_size",
     "hybrid_quorum",
     "make_hybrid_cluster",

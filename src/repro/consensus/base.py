@@ -171,7 +171,15 @@ class ConsensusReplica(Node):
         return self.config.f + 1 if self.config.byzantine else 1
 
     def _arm_catchup_timer(self) -> None:
-        self.set_timer(2 * self.config.base_timeout, self._catchup_tick)
+        self.set_timer(
+            2 * self.config.base_timeout, self._catchup_tick, label="catchup"
+        )
+
+    def on_recover(self) -> None:
+        """Restart baseline timers: a crash invalidates every pre-crash
+        timer, so a recovered replica must re-arm its catch-up gossip
+        (protocol subclasses add their election/round timers on top)."""
+        self._arm_catchup_timer()
 
     def _catchup_tick(self) -> None:
         if self._requests or self._out_of_order:
@@ -300,9 +308,22 @@ class ConsensusCluster:
             )
         self._decide_times: dict[tuple[str, int], float] = {}
         self._decide_listener = decide_listener
+        #: Attached safety monitors (see repro.consensus.monitors); they
+        #: observe every decide of every non-Byzantine replica.
+        self.monitors: list[Any] = []
+
+    def add_monitor(self, monitor) -> None:
+        """Attach a safety monitor for the rest of the cluster's life."""
+        monitor.bind(self)
+        self.monitors.append(monitor)
 
     def _record_decide(self, node_id: str, sequence: int, value: Any) -> None:
         self._decide_times[(node_id, sequence)] = self.sim.now
+        if self.monitors and not getattr(
+            self.replicas[node_id], "byzantine", False
+        ):
+            for monitor in self.monitors:
+                monitor.on_decide(node_id, sequence, value)
         if self._decide_listener is not None:
             self._decide_listener(node_id, sequence, value)
 

@@ -160,7 +160,15 @@ class HotStuffReplica(ConsensusReplica):
         # where a replica one view ahead always expires the moment its
         # peers arrive; jitter breaks the alignment.
         delay = self.config.base_timeout * (1.0 + 0.25 * self.sim.rng.random())
-        self._view_timer = self.set_timer(delay, self._on_view_timeout)
+        self._view_timer = self.set_timer(
+            delay, self._on_view_timeout, label="view"
+        )
+
+    def on_recover(self) -> None:
+        """Restart semantics: re-arm the view timer so a recovered
+        replica rejoins the pacemaker instead of waiting silently."""
+        super().on_recover()
+        self._arm_view_timer()
 
     def _has_uncommitted_values(self) -> bool:
         """True while any proposed value has not reached a decision."""

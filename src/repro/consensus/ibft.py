@@ -108,7 +108,9 @@ class IbftReplica(ConsensusReplica):
         if self._round_timer is not None:
             self._round_timer.cancel()
         delay = self.config.base_timeout * (1.0 + 0.5 * round_)
-        self._round_timer = self.set_timer(delay, self._on_round_timeout)
+        self._round_timer = self.set_timer(
+            delay, self._on_round_timeout, label="round"
+        )
         if self.proposer(self.height, round_) != self.node_id:
             return
         value = self._prepared_value
@@ -146,8 +148,20 @@ class IbftReplica(ConsensusReplica):
             self._round_timer.cancel()
         delay = self.config.base_timeout * (1.0 + 0.5 * target_round)
         self._round_timer = self.set_timer(
-            delay, lambda: self._demand_round_change(target_round + 1)
+            delay,
+            lambda: self._demand_round_change(target_round + 1),
+            label="round-change",
         )
+
+    def on_recover(self) -> None:
+        """Restart semantics: if the replica was mid-consensus, re-arm
+        the round timer so it can demand a round change and rejoin."""
+        super().on_recover()
+        if self._active:
+            delay = self.config.base_timeout * (1.0 + 0.5 * self.round)
+            self._round_timer = self.set_timer(
+                delay, self._on_round_timeout, label="round"
+            )
 
     # -- dispatch ----------------------------------------------------------------------
 

@@ -1,0 +1,166 @@
+"""Safety monitors and the guarded run driver for fault experiments.
+
+The paper's Discussion claims are fundamentally about behaviour under
+faults: BFT protocols may *stall* when quorums are unreachable but must
+never commit conflicting values. These monitors watch a
+:class:`~repro.consensus.base.ConsensusCluster` live during a fault run
+and record any violation, independently of the per-replica assertions
+inside each protocol (a replica can only see its own log; monitors see
+the whole cluster):
+
+* :class:`ConflictingCommitMonitor` — no two correct replicas commit
+  different values at the same sequence/height (the agreement property).
+* :class:`PrefixConsistencyMonitor` — correct replicas' decided logs
+  stay prefix-consistent on every decide.
+
+:func:`guarded_run_until_decided` drives a cluster like
+``run_until_decided`` but wires a :class:`~repro.sim.watchdog.LivenessWatchdog`
+between run slices, converting silent stalls and exhausted event queues
+into a structured :class:`~repro.sim.watchdog.StallDiagnostic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sim.trace import NetworkTracer
+from repro.sim.watchdog import LivenessWatchdog, StallDiagnostic
+
+
+class SafetyMonitor:
+    """Base class: collects violation descriptions during a run.
+
+    Monitors attach via ``cluster.add_monitor(monitor)`` and receive
+    every in-order decide of every replica (Byzantine attack replicas
+    excluded — safety is a property of the *correct* replicas).
+    """
+
+    def __init__(self) -> None:
+        self.violations: list[str] = []
+        self._cluster = None
+
+    def bind(self, cluster) -> None:
+        self._cluster = cluster
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def on_decide(self, node_id: str, sequence: int, value: Any) -> None:
+        raise NotImplementedError
+
+    def check(self) -> bool:
+        """End-of-run check; default just reports collected violations."""
+        return self.ok
+
+
+class ConflictingCommitMonitor(SafetyMonitor):
+    """No two committed values at the same sequence across the cluster."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._committed: dict[int, tuple[str, str]] = {}  # seq -> (repr, node)
+
+    def on_decide(self, node_id: str, sequence: int, value: Any) -> None:
+        key = repr(value)
+        existing = self._committed.get(sequence)
+        if existing is None:
+            self._committed[sequence] = (key, node_id)
+        elif existing[0] != key:
+            self.violations.append(
+                f"seq {sequence}: {node_id} committed {key} but "
+                f"{existing[1]} committed {existing[0]}"
+            )
+
+
+class PrefixConsistencyMonitor(SafetyMonitor):
+    """Correct replicas' decided logs are prefix-consistent, checked on
+    every decide (catches transient divergence an end-of-run comparison
+    would miss if logs later converge by overwrite)."""
+
+    def on_decide(self, node_id: str, sequence: int, value: Any) -> None:
+        if self._cluster is None:
+            return
+        if not self._cluster.agreement_holds():
+            self.violations.append(
+                f"prefix divergence after {node_id} decided seq {sequence}"
+            )
+
+
+@dataclass
+class GuardedRun:
+    """Outcome of :func:`guarded_run_until_decided`."""
+
+    decided: bool
+    diagnostic: StallDiagnostic | None
+    monitors_ok: bool
+    violations: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return self.decided and self.monitors_ok
+
+
+def guarded_run_until_decided(
+    cluster,
+    count: int,
+    timeout: float = 60.0,
+    stall_after: float = 5.0,
+    tracer: NetworkTracer | None = None,
+    slice_seconds: float = 0.25,
+    max_events: int = 2_000_000,
+) -> GuardedRun:
+    """Run until every correct replica decided ``count`` values, with a
+    liveness watchdog converting stalls into diagnostics.
+
+    The watchdog observes between run slices (never from inside the
+    event queue), so a guarded run replays the exact same event sequence
+    as an unguarded one. On a stall — no replica's decided log grew for
+    ``stall_after`` virtual seconds, or the event queue drained with the
+    goal unmet — the returned :class:`GuardedRun` carries the first
+    structured diagnostic; the run keeps going until ``timeout`` in case
+    the stall resolves (e.g. a scheduled heal), so ``decided`` can be
+    True even when a transient stall was diagnosed mid-run.
+    """
+    watchdog = LivenessWatchdog(
+        cluster.replicas,
+        progress_of=lambda replica: len(replica.decided),
+        stall_after=stall_after,
+        tracer=tracer,
+    )
+    sim = cluster.sim
+    watchdog.observe(sim.now)
+    deadline = sim.now + timeout
+    diagnostic: StallDiagnostic | None = None
+
+    def goal_met() -> bool:
+        return all(
+            len(r.decided) >= count for r in cluster.correct_replicas()
+        )
+
+    while sim.now < deadline:
+        if goal_met():
+            break
+        processed = sim.run(
+            until=min(deadline, sim.now + slice_seconds), max_events=max_events
+        )
+        observed = watchdog.observe(sim.now)
+        if observed is not None and diagnostic is None:
+            diagnostic = observed
+        if processed == 0 and sim.pending_events() == 0:
+            if not goal_met() and diagnostic is None:
+                diagnostic = watchdog.queue_exhausted(sim.now)
+            break
+    decided = goal_met()
+    violations = [
+        violation
+        for monitor in getattr(cluster, "monitors", [])
+        for violation in monitor.violations
+    ]
+    return GuardedRun(
+        decided=decided,
+        diagnostic=diagnostic,
+        monitors_ok=not violations,
+        violations=violations,
+    )

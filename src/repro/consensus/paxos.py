@@ -118,7 +118,18 @@ class PaxosReplica(ConsensusReplica):
         # Stagger timeouts by replica index so a single replica takes
         # over cleanly instead of duelling proposers livelocking.
         delay = self.config.base_timeout * (1.0 + 0.5 * self._index)
-        self._progress_timer = self.set_timer(delay, self._on_progress_timeout)
+        self._progress_timer = self.set_timer(
+            delay, self._on_progress_timeout, label="progress"
+        )
+
+    def on_recover(self) -> None:
+        """Restart semantics: leadership is forgotten (a fresh prepare
+        phase must re-earn it) and the progress retry timer is re-armed
+        for any requests that survived in memory."""
+        super().on_recover()
+        self._is_leader = False
+        self._promises = {}
+        self._arm_progress_timer()
 
     def _on_progress_timeout(self) -> None:
         if not self._requests:

@@ -140,7 +140,15 @@ class PbftReplica(ConsensusReplica):
             self._view_timer = None
             return
         delay = self.config.base_timeout * self._timeout_factor
-        self._view_timer = self.set_timer(delay, self._on_progress_timeout)
+        self._view_timer = self.set_timer(
+            delay, self._on_progress_timeout, label="view-progress"
+        )
+
+    def on_recover(self) -> None:
+        """Restart semantics: re-arm the view-progress timer for any
+        undecided requests (pre-crash timers died with the crash)."""
+        super().on_recover()
+        self._arm_timer()
 
     # -- client path ----------------------------------------------------------
 

@@ -121,7 +121,8 @@ class RaftReplica(ConsensusReplica):
         if self._election_timer is not None:
             self._election_timer.cancel()
         self._election_timer = self.set_timer(
-            self._election_timeout(), self._on_election_timeout
+            self._election_timeout(), self._on_election_timeout,
+            label="election",
         )
 
     def _start_heartbeats(self) -> None:
@@ -130,9 +131,20 @@ class RaftReplica(ConsensusReplica):
         def beat() -> None:
             if self.role is Role.LEADER:
                 self._replicate_to_all()
-                self._heartbeat_timer = self.set_timer(period, beat)
+                self._heartbeat_timer = self.set_timer(
+                    period, beat, label="heartbeat"
+                )
 
-        self._heartbeat_timer = self.set_timer(0.0, beat)
+        self._heartbeat_timer = self.set_timer(0.0, beat, label="heartbeat")
+
+    def on_recover(self) -> None:
+        """Restart semantics: come back as a follower with a fresh
+        election timer — pre-crash leadership (and its heartbeat timer)
+        died with the crash."""
+        super().on_recover()
+        self.role = Role.FOLLOWER
+        self._votes = set()
+        self._reset_election_timer()
 
     # -- client path -------------------------------------------------------
 

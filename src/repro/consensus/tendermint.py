@@ -134,6 +134,15 @@ class TendermintReplica(ConsensusReplica):
             self._active = True
             self._start_round(self.round)
 
+    def on_recover(self) -> None:
+        """Restart semantics: if the replica was mid-consensus, re-arm
+        the round timer so it times out and rejoins via round change."""
+        super().on_recover()
+        if self._active:
+            self._round_timer = self.set_timer(
+                self._round_timeout(), self._on_round_timeout, label="round"
+            )
+
     # -- round machinery ----------------------------------------------------------
 
     def _round_timeout(self) -> float:
@@ -144,7 +153,9 @@ class TendermintReplica(ConsensusReplica):
         key = (self.height, round_)
         if self._round_timer is not None:
             self._round_timer.cancel()
-        self._round_timer = self.set_timer(self._round_timeout(), self._on_round_timeout)
+        self._round_timer = self.set_timer(
+            self._round_timeout(), self._on_round_timeout, label="round"
+        )
         if self.proposer(self.height, round_) != self.node_id:
             return
         if self.valid_value is not None:

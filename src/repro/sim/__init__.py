@@ -12,22 +12,39 @@ benchmark tables in EXPERIMENTS.md reproducible.
 
 from repro.sim.core import Simulation
 from repro.sim.events import Event, EventQueue
-from repro.sim.faults import CrashSchedule
-from repro.sim.network import LanLatency, LatencyModel, Network, WanLatency
+from repro.sim.faults import CrashSchedule, FaultPlan, match
+from repro.sim.network import (
+    DROP,
+    Delay,
+    Duplicate,
+    LanLatency,
+    LatencyModel,
+    Network,
+    WanLatency,
+)
 from repro.sim.node import Node, Timer
 from repro.sim.trace import NetworkTracer, TraceEvent
+from repro.sim.watchdog import LivenessWatchdog, StallDiagnostic, TimerInfo
 
 __all__ = [
+    "DROP",
     "CrashSchedule",
+    "Delay",
+    "Duplicate",
     "Event",
     "EventQueue",
+    "FaultPlan",
     "LanLatency",
     "LatencyModel",
+    "LivenessWatchdog",
     "Network",
     "NetworkTracer",
     "Node",
     "Simulation",
+    "StallDiagnostic",
     "Timer",
+    "TimerInfo",
     "TraceEvent",
     "WanLatency",
+    "match",
 ]

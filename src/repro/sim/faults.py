@@ -1,37 +1,114 @@
 """Declarative fault schedules for experiments.
 
-A :class:`CrashSchedule` lists crash/recover actions at virtual times and
-applies them to a simulation before it runs. Byzantine behaviours are
-protocol-specific and live next to each protocol (e.g. the equivocating
-PBFT replica in ``repro.consensus.pbft``); this module handles the
-protocol-agnostic crash model.
+Two layers:
+
+* :class:`CrashSchedule` — the original crash/recover action list keyed
+  by virtual time (kept as the minimal building block).
+* :class:`FaultPlan` — the chaos engine: composes, on one virtual-time
+  line, node crashes/recoveries, partition/heal *windows*, and
+  message-level faults (targeted drops, duplication, delay spikes,
+  one-shot reordering) injected through the network's interceptor hook.
+  All randomness flows from the simulation RNG, so a same-seed run with
+  the same plan is bit-for-bit deterministic.
+
+Byzantine behaviours are protocol-specific and live next to each
+protocol (e.g. the equivocating PBFT replica in
+``repro.consensus.pbft``); this module handles the protocol-agnostic
+crash, partition, and message-fault models from paper section 2.2.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
 
 from repro.common.errors import ConfigError
 from repro.sim.core import Simulation
+from repro.sim.network import DROP, Delay, Duplicate, Network
 from repro.sim.node import Node
+
+#: Predicate over one wire message: (src, dst, message) -> bool.
+MessagePredicate = Callable[[str, str, object], bool]
+
+
+def match(
+    src: str | Iterable[str] | None = None,
+    dst: str | Iterable[str] | None = None,
+    message_type: str | type | Iterable[str | type] | None = None,
+) -> MessagePredicate:
+    """Build a message predicate from optional filters.
+
+    Each filter accepts a single value or a collection; ``None`` means
+    wildcard. ``message_type`` matches the message class name (a type is
+    converted to its name, so ``match(message_type=AppendEntries)`` and
+    ``match(message_type="AppendEntries")`` are equivalent).
+
+        match(src="r0")                          # everything r0 sends
+        match(dst="r3", message_type="Prepare")  # Prepares delivered to r3
+    """
+
+    def as_set(value, convert=lambda v: v):
+        if value is None:
+            return None
+        if isinstance(value, (str, type)):
+            return {convert(value)}
+        return {convert(v) for v in value}
+
+    def type_name(value):
+        return value.__name__ if isinstance(value, type) else value
+
+    srcs = as_set(src)
+    dsts = as_set(dst)
+    types = as_set(message_type, type_name)
+
+    def predicate(msg_src: str, msg_dst: str, message: object) -> bool:
+        if srcs is not None and msg_src not in srcs:
+            return False
+        if dsts is not None and msg_dst not in dsts:
+            return False
+        if types is not None and type(message).__name__ not in types:
+            return False
+        return True
+
+    return predicate
+
+
+def _match_all(_src: str, _dst: str, _message: object) -> bool:
+    return True
 
 
 @dataclass
 class CrashSchedule:
-    """Crash and recovery actions keyed by virtual time."""
+    """Crash and recovery actions keyed by virtual time.
+
+    At one virtual time, crashes apply before recoveries (they are
+    scheduled first, and the event queue breaks ties by insertion
+    order), so ``crash_at(t, n)`` + ``recover_at(t, n)`` deterministically
+    leaves ``n`` recovered — with every pre-``t`` timer invalidated by
+    the crash. Duplicate actions are idempotent.
+    """
 
     crashes: list[tuple[float, str]] = field(default_factory=list)
     recoveries: list[tuple[float, str]] = field(default_factory=list)
 
     def crash_at(self, time: float, node_id: str) -> "CrashSchedule":
-        self.crashes.append((time, node_id))
+        self.crashes.append((self._valid_time(time), node_id))
         return self
 
     def recover_at(self, time: float, node_id: str) -> "CrashSchedule":
-        self.recoveries.append((time, node_id))
+        self.recoveries.append((self._valid_time(time), node_id))
         return self
 
-    def apply(self, sim: Simulation, nodes: dict[str, Node]) -> None:
+    @staticmethod
+    def _valid_time(time: float) -> float:
+        if not (time >= 0.0) or math.isinf(time):
+            raise ConfigError(
+                f"fault times must be finite and non-negative, got {time}"
+            )
+        return time
+
+    def apply(self, sim: Simulation, nodes: Mapping[str, Node]) -> None:
         """Schedule every action on ``sim`` against ``nodes``."""
         for time, node_id in self.crashes:
             if node_id not in nodes:
@@ -41,3 +118,250 @@ class CrashSchedule:
             if node_id not in nodes:
                 raise ConfigError(f"recovery schedule names unknown node: {node_id}")
             sim.schedule_at(time, nodes[node_id].recover)
+
+
+class _MessageRule:
+    """One active-window message fault (internal to FaultPlan)."""
+
+    __slots__ = (
+        "kind", "start", "end", "predicate", "probability", "extra",
+        "copies", "once", "fired",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        start: float,
+        end: float,
+        predicate: MessagePredicate | None,
+        probability: float = 1.0,
+        extra: float = 0.0,
+        copies: int = 1,
+        once: bool = False,
+    ) -> None:
+        if not (0.0 <= start <= end):
+            raise ConfigError(
+                f"fault window must satisfy 0 <= start <= end, "
+                f"got [{start}, {end})"
+            )
+        if not 0.0 < probability <= 1.0:
+            raise ConfigError("fault probability must be in (0, 1]")
+        self.kind = kind
+        self.start = start
+        self.end = end
+        self.predicate = predicate or _match_all
+        self.probability = probability
+        self.extra = extra
+        self.copies = copies
+        self.once = once
+        self.fired = False
+
+
+class FaultPlan:
+    """A composable, deterministic chaos schedule.
+
+    Build declaratively, then :meth:`apply` once before the run::
+
+        plan = (
+            FaultPlan()
+            .crash(1.0, "r0").recover(4.0, "r0")
+            .partition_window(2.0, 5.0, [["r1", "r2", "r3"], ["r0", "r4"]])
+            .drop_messages(0.0, 3.0, match(message_type="Prepare"),
+                           probability=0.3)
+            .delay_messages(2.0, 4.0, match(dst="r2"), extra=0.05)
+            .duplicate_messages(1.0, 2.0, match(src="r1"))
+            .reorder_once(1.5, 6.0, match(message_type="Commit"), hold=0.1)
+        )
+        plan.apply(cluster.sim, cluster.network, cluster.replicas)
+
+    Crash/recover actions ride on a :class:`CrashSchedule`; partition
+    windows schedule ``network.partition``/``heal`` pairs; message rules
+    are served by a single network interceptor. Windows are half-open
+    ``[start, end)`` in virtual time. For one message, the first
+    matching rule wins (rules are consulted in declaration order).
+    Probabilistic rules draw from ``sim.rng``, so the whole plan is
+    deterministic under a fixed seed and composes with everything else
+    the simulation randomises.
+    """
+
+    def __init__(self) -> None:
+        self._crash_schedule = CrashSchedule()
+        self._partitions: list[tuple[float, float, list[list[str]]]] = []
+        self._rules: list[_MessageRule] = []
+        self._applied = False
+
+    # -- node faults -------------------------------------------------------
+
+    def crash(self, time: float, *node_ids: str) -> "FaultPlan":
+        """Crash ``node_ids`` at ``time`` (pre-crash timers die with it)."""
+        for node_id in node_ids:
+            self._crash_schedule.crash_at(time, node_id)
+        return self
+
+    def recover(self, time: float, *node_ids: str) -> "FaultPlan":
+        for node_id in node_ids:
+            self._crash_schedule.recover_at(time, node_id)
+        return self
+
+    # -- partitions --------------------------------------------------------
+
+    def partition_window(
+        self, start: float, end: float, groups: Iterable[Iterable[str]]
+    ) -> "FaultPlan":
+        """Partition into ``groups`` at ``start``, heal at ``end``.
+
+        Windows must not overlap (a network holds one partition at a
+        time); the plan rejects overlapping windows at build time rather
+        than silently healing the earlier one.
+        """
+        CrashSchedule._valid_time(start)
+        if not (end > start) or math.isinf(end):
+            raise ConfigError(
+                f"partition window must have start < end < inf, "
+                f"got [{start}, {end})"
+            )
+        for other_start, other_end, _ in self._partitions:
+            if start < other_end and other_start < end:
+                raise ConfigError(
+                    f"partition window [{start}, {end}) overlaps "
+                    f"[{other_start}, {other_end})"
+                )
+        self._partitions.append(
+            (start, end, [list(group) for group in groups])
+        )
+        return self
+
+    # -- message faults ----------------------------------------------------
+
+    def drop_messages(
+        self,
+        start: float,
+        end: float,
+        predicate: MessagePredicate | None = None,
+        probability: float = 1.0,
+    ) -> "FaultPlan":
+        """Drop matching messages in ``[start, end)`` (counted under
+        ``net.dropped.fault``)."""
+        self._rules.append(
+            _MessageRule("drop", start, end, predicate, probability)
+        )
+        return self
+
+    def delay_messages(
+        self,
+        start: float,
+        end: float,
+        predicate: MessagePredicate | None = None,
+        extra: float = 0.05,
+        probability: float = 1.0,
+    ) -> "FaultPlan":
+        """Add a latency spike of ``extra`` seconds to matching messages."""
+        if extra < 0:
+            raise ConfigError("delay spike must be non-negative")
+        self._rules.append(
+            _MessageRule(
+                "delay", start, end, predicate, probability, extra=extra
+            )
+        )
+        return self
+
+    def duplicate_messages(
+        self,
+        start: float,
+        end: float,
+        predicate: MessagePredicate | None = None,
+        copies: int = 1,
+        probability: float = 1.0,
+    ) -> "FaultPlan":
+        """Deliver matching messages ``copies`` extra times."""
+        if copies < 1:
+            raise ConfigError("duplicate needs at least one copy")
+        self._rules.append(
+            _MessageRule(
+                "duplicate", start, end, predicate, probability, copies=copies
+            )
+        )
+        return self
+
+    def reorder_once(
+        self,
+        start: float,
+        end: float,
+        predicate: MessagePredicate | None = None,
+        hold: float = 0.05,
+    ) -> "FaultPlan":
+        """Hold back the *first* matching message in the window by
+        ``hold`` seconds, letting later messages overtake it — a
+        one-shot reordering."""
+        if hold <= 0:
+            raise ConfigError("reorder hold must be positive")
+        self._rules.append(
+            _MessageRule("reorder", start, end, predicate, extra=hold, once=True)
+        )
+        return self
+
+    # -- application -------------------------------------------------------
+
+    def apply(
+        self,
+        sim: Simulation,
+        network: Network | None = None,
+        nodes: Mapping[str, Node] | None = None,
+    ) -> "FaultPlan":
+        """Schedule the whole plan on ``sim``.
+
+        ``nodes`` defaults to the network's registered nodes. A plan
+        applies exactly once; reusing one across simulations would share
+        the one-shot rule state.
+        """
+        if self._applied:
+            raise ConfigError("a FaultPlan can only be applied once")
+        if (self._crash_schedule.crashes or self._crash_schedule.recoveries
+                or self._partitions) and network is None and nodes is None:
+            raise ConfigError("this FaultPlan needs a network or nodes")
+        self._applied = True
+        if nodes is None and network is not None:
+            nodes = {nid: network.node(nid) for nid in network.node_ids}
+        if nodes is not None:
+            self._crash_schedule.apply(sim, nodes)
+        for start, end, groups in self._partitions:
+            if network is None:
+                raise ConfigError("partition windows need a network")
+            sim.schedule_at(start, network.partition, groups)
+            sim.schedule_at(end, network.heal)
+        if self._rules and network is not None:
+            network.add_interceptor(self._interceptor(sim))
+        return self
+
+    def apply_to_cluster(self, cluster) -> "FaultPlan":
+        """Convenience for :class:`repro.consensus.ConsensusCluster`."""
+        return self.apply(cluster.sim, cluster.network, cluster.replicas)
+
+    def _interceptor(self, sim: Simulation):
+        rules = self._rules
+
+        def intercept(src: str, dst: str, message: object):
+            now = sim.now
+            for rule in rules:
+                if not (rule.start <= now < rule.end):
+                    continue
+                if rule.once and rule.fired:
+                    continue
+                if not rule.predicate(src, dst, message):
+                    continue
+                if rule.probability < 1.0 and (
+                    sim.rng.random() >= rule.probability
+                ):
+                    continue
+                kind = rule.kind
+                if kind == "drop":
+                    return DROP
+                if kind == "delay":
+                    return Delay(rule.extra)
+                if kind == "duplicate":
+                    return Duplicate(rule.copies)
+                rule.fired = True  # reorder: one shot
+                return Delay(rule.extra)
+            return None
+
+        return intercept

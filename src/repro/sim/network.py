@@ -20,6 +20,44 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
 #: Modelled wire size for a message that does not say otherwise.
 DEFAULT_MESSAGE_BYTES = 256
 
+#: Interceptor verdict: swallow the message (counted under
+#: ``net.dropped.fault``).
+DROP = "drop"
+
+
+class Delay:
+    """Interceptor verdict: deliver, but ``extra`` seconds later.
+
+    Models a latency spike on one link without touching the latency
+    model; multiple matching interceptors accumulate their extras.
+    """
+
+    __slots__ = ("extra",)
+
+    def __init__(self, extra: float) -> None:
+        if extra < 0:
+            raise ConfigError("fault delay must be non-negative")
+        self.extra = extra
+
+
+class Duplicate:
+    """Interceptor verdict: deliver normally *and* schedule ``copies``
+    extra deliveries, each with its own latency sample (so the copies
+    interleave with other traffic exactly as a duplicating network
+    path would)."""
+
+    __slots__ = ("copies",)
+
+    def __init__(self, copies: int = 1) -> None:
+        if copies < 1:
+            raise ConfigError("duplicate needs at least one copy")
+        self.copies = copies
+
+
+#: An interceptor sees every (src, dst, message) about to be scheduled
+#: and returns None (no opinion), DROP, a Delay, or a Duplicate.
+Interceptor = Callable[[str, str, object], object]
+
 
 def message_size(message: object) -> int:
     """Modelled wire size of a message.
@@ -119,6 +157,7 @@ class Network:
         # message (``deliver`` itself checks the crashed flag on fire).
         self._delivers: dict[str, Callable[[str, object], None]] = {}
         self._partition_of: dict[str, int] = {}
+        self._interceptors: list[Interceptor] = []
 
     def join(self, node: "Node") -> None:
         if node.node_id in self._nodes:
@@ -136,12 +175,83 @@ class Network:
     def node_ids(self) -> list[str]:
         return list(self._nodes)
 
+    def add_interceptor(self, interceptor: Interceptor) -> None:
+        """Install a message-fault hook on the send path.
+
+        Interceptors run in installation order on every message after
+        the partition check and before probabilistic loss. They are the
+        mechanism behind :class:`repro.sim.faults.FaultPlan`'s targeted
+        drop/delay/duplicate/reorder rules; any randomness they need
+        must come from ``sim.rng`` to keep same-seed runs identical.
+        """
+        self._interceptors.append(interceptor)
+
+    def remove_interceptor(self, interceptor: Interceptor) -> None:
+        self._interceptors.remove(interceptor)
+
+    def _intercept(
+        self,
+        src: str,
+        dst: str,
+        message: object,
+        deliver: Callable[[str, object], None],
+    ) -> float | None:
+        """Run interceptors; returns the accumulated extra delay, or
+        None when a DROP verdict swallowed the message. Duplicate
+        verdicts schedule their extra copies here."""
+        sim = self.sim
+        extra = 0.0
+        for interceptor in self._interceptors:
+            action = interceptor(src, dst, message)
+            if action is None:
+                continue
+            if action is DROP:
+                sim.metrics.incr("net.dropped.fault")
+                return None
+            if type(action) is Delay:
+                sim.metrics.incr("net.delayed.fault")
+                extra += action.extra
+            elif type(action) is Duplicate:
+                rng = sim.rng
+                sim.metrics.incr("net.duplicated.fault", action.copies)
+                for _ in range(action.copies):
+                    sim.schedule(
+                        self.latency.sample(rng, src, dst), deliver, src, message
+                    )
+            else:
+                raise ConfigError(f"unknown fault action: {action!r}")
+        return extra
+
     def partition(self, groups: Iterable[Iterable[str]]) -> None:
-        """Split the network: traffic only flows within one group."""
-        self._partition_of.clear()
+        """Split the network: traffic only flows within one group.
+
+        Every registered node must appear in exactly one group — a node
+        silently omitted from all groups would land in an implicit
+        "unlisted" group that can still talk to other omitted nodes,
+        which is never what an experiment means. Unknown or repeated
+        names are rejected for the same reason.
+        """
+        partition_of: dict[str, int] = {}
         for index, group in enumerate(groups):
             for node_id in group:
-                self._partition_of[node_id] = index
+                if node_id not in self._nodes:
+                    raise ConfigError(
+                        f"partition names unregistered node: {node_id}"
+                    )
+                if node_id in partition_of:
+                    raise ConfigError(
+                        f"node {node_id} appears in more than one "
+                        "partition group"
+                    )
+                partition_of[node_id] = index
+        missing = [nid for nid in self._nodes if nid not in partition_of]
+        if missing:
+            raise ConfigError(
+                "partition omits registered nodes "
+                f"{missing}: every node must be in exactly one group"
+            )
+        self._partition_of.clear()
+        self._partition_of.update(partition_of)
 
     def heal(self) -> None:
         """Remove any partition."""
@@ -169,11 +279,19 @@ class Network:
         if self._partition_of and self._partitioned(src, dst):
             metrics.incr("net.dropped.partition")
             return
+        extra = 0.0
+        if self._interceptors:
+            verdict = self._intercept(src, dst, message, deliver)
+            if verdict is None:
+                return
+            extra = verdict
         rng = sim.rng
         if self.drop_probability and rng.random() < self.drop_probability:
             metrics.incr("net.dropped.loss")
             return
-        sim.schedule(self.latency.sample(rng, src, dst), deliver, src, message)
+        sim.schedule(
+            extra + self.latency.sample(rng, src, dst), deliver, src, message
+        )
 
     def broadcast(
         self, src: str, message: object, targets: Iterable[str] | None = None
@@ -198,6 +316,7 @@ class Network:
         )
         delivers = self._delivers
         partition_of = self._partition_of
+        interceptors = self._interceptors
         drop_probability = self.drop_probability
         rng = sim.rng
         random_ = rng.random
@@ -216,7 +335,15 @@ class Network:
             if partition_of and partition_of.get(src) != partition_of.get(dst):
                 metrics.incr("net.dropped.partition")
                 continue
+            extra = 0.0
+            if interceptors:
+                # Same per-destination order as serial sends, so the
+                # RNG draw sequence (and thus the run) is identical.
+                verdict = self._intercept(src, dst, message, deliver)
+                if verdict is None:
+                    continue
+                extra = verdict
             if drop_probability and random_() < drop_probability:
                 metrics.incr("net.dropped.loss")
                 continue
-            push(now + sample(rng, src, dst), deliver, args)
+            push(now + extra + sample(rng, src, dst), deliver, args)

@@ -10,10 +10,18 @@ from repro.sim.network import Network
 
 
 class Timer:
-    """A cancellable timer owned by a node."""
+    """A cancellable timer owned by a node.
 
-    def __init__(self, event: Event) -> None:
+    ``label`` names the timer for diagnostics (the liveness watchdog
+    reports outstanding timers per node); it defaults to the callback's
+    function name.
+    """
+
+    __slots__ = ("_event", "label")
+
+    def __init__(self, event: Event, label: str | None = None) -> None:
         self._event = event
+        self.label = label
 
     def cancel(self) -> None:
         self._event.cancel()
@@ -22,6 +30,25 @@ class Timer:
     def cancelled(self) -> bool:
         return self._event.cancelled
 
+    @property
+    def pending(self) -> bool:
+        """Still queued: neither cancelled nor fired."""
+        return self._event._queue is not None and not self._event.cancelled
+
+    @property
+    def fires_at(self) -> float:
+        """Absolute virtual time this timer is due."""
+        return self._event.time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if self.pending else "done"
+        return f"Timer({self.label!r}, fires_at={self.fires_at!r}, {state})"
+
+
+#: Prune the per-node timer list when it grows past this many entries
+#: (fired/cancelled timers are dropped; live protocols keep a handful).
+_TIMER_PRUNE_THRESHOLD = 32
+
 
 class Node:
     """A process on the simulated network.
@@ -29,7 +56,11 @@ class Node:
     Subclasses implement :meth:`on_message`. A crashed node drops all
     incoming messages and its timer callbacks never fire (the crash
     failure model from paper section 2.2: "when a node fails it stops
-    processing completely").
+    processing completely"). Crashing also *invalidates* every timer the
+    node had outstanding — a restart must not resurrect pre-crash timers
+    — via a per-node epoch counter: timers capture the epoch at arm time
+    and refuse to fire in a later epoch. Subclasses re-arm whatever
+    timers a fresh restart needs in :meth:`on_recover`.
     """
 
     def __init__(self, node_id: str, sim: Simulation, network: Network) -> None:
@@ -37,6 +68,8 @@ class Node:
         self.sim = sim
         self.network = network
         self.crashed = False
+        self._epoch = 0
+        self._timers: list[Timer] = []
         network.join(self)
 
     # -- transport ---------------------------------------------------------
@@ -62,21 +95,62 @@ class Node:
 
     # -- timers ------------------------------------------------------------
 
-    def set_timer(self, delay: float, callback: Callable[[], None]) -> Timer:
-        """Run ``callback`` after ``delay`` unless cancelled or crashed."""
+    def set_timer(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        label: str | None = None,
+    ) -> Timer:
+        """Run ``callback`` after ``delay`` unless cancelled or crashed.
+
+        A timer armed before a crash never fires after recovery: the
+        fire guard checks both the crashed flag and the arming epoch.
+        """
+        epoch = self._epoch
 
         def fire() -> None:
-            if not self.crashed:
+            if not self.crashed and self._epoch == epoch:
                 callback()
 
-        return Timer(self.sim.schedule(delay, fire))
+        timer = Timer(
+            self.sim.schedule(delay, fire),
+            label=label or getattr(callback, "__name__", "timer"),
+        )
+        timers = self._timers
+        timers.append(timer)
+        if len(timers) > _TIMER_PRUNE_THRESHOLD:
+            self._timers = [t for t in timers if t.pending]
+        return timer
+
+    def outstanding_timers(self) -> list[Timer]:
+        """Timers armed but not yet fired or cancelled (diagnostics)."""
+        self._timers = [t for t in self._timers if t.pending]
+        return list(self._timers)
 
     # -- fault injection ---------------------------------------------------
 
     def crash(self) -> None:
-        """Stop processing entirely (crash failure)."""
+        """Stop processing entirely (crash failure).
+
+        Outstanding timers are cancelled and the epoch is bumped, so
+        nothing armed before the crash can fire after :meth:`recover`.
+        """
         self.crashed = True
+        self._epoch += 1
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
 
     def recover(self) -> None:
-        """Resume processing; protocol state is whatever the subclass kept."""
+        """Resume processing; protocol state is whatever the subclass kept.
+
+        Calls :meth:`on_recover` so subclasses can re-arm the timers a
+        restarted process needs (pre-crash timers are gone for good).
+        """
+        if not self.crashed:
+            return
         self.crashed = False
+        self.on_recover()
+
+    def on_recover(self) -> None:
+        """Hook: re-arm restart timers. Default is a no-op."""

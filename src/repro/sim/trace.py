@@ -9,7 +9,7 @@ pre-prepare → prepare → commit and nothing else.
 
 from __future__ import annotations
 
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass
 
 from repro.sim.network import Network, message_size
@@ -34,14 +34,21 @@ class NetworkTracer:
         tracer = NetworkTracer.attach(cluster.network)
         ... run ...
         tracer.summary()   # {"PrePrepare": 3, "Prepare": 12, ...}
+
+    ``capacity`` bounds the record to the most recent N events (a ring
+    buffer) — what the liveness watchdog uses to keep "the last N
+    delivered messages" around on long fault runs without unbounded
+    memory.
     """
 
-    def __init__(self) -> None:
-        self.events: list[TraceEvent] = []
+    def __init__(self, capacity: int | None = None) -> None:
+        self.events: "list[TraceEvent] | deque[TraceEvent]" = (
+            deque(maxlen=capacity) if capacity else []
+        )
 
     @classmethod
-    def attach(cls, network: Network) -> "NetworkTracer":
-        tracer = cls()
+    def attach(cls, network: Network, capacity: int | None = None) -> "NetworkTracer":
+        tracer = cls(capacity=capacity)
         events = tracer.events
         original_send = network.send
         original_broadcast = network.broadcast
@@ -112,14 +119,24 @@ class NetworkTracer:
         wanted = set(message_types)
         return [e for e in self.events if e.message_type in wanted]
 
+    def tail(self, n: int = 20) -> list[TraceEvent]:
+        """The most recent ``n`` events, oldest first."""
+        if n <= 0:
+            return []
+        events = self.events
+        if isinstance(events, deque):
+            events = list(events)
+        return events[-n:]
+
     def timeline(self, limit: int = 50) -> str:
         """Human-readable trace (first ``limit`` events)."""
+        events = list(self.events) if isinstance(self.events, deque) else self.events
         lines = [
             f"{e.time:9.4f}  {e.src:>12s} -> {e.dst:<12s} {e.message_type}"
-            for e in self.events[:limit]
+            for e in events[:limit]
         ]
-        if len(self.events) > limit:
-            lines.append(f"... {len(self.events) - limit} more")
+        if len(events) > limit:
+            lines.append(f"... {len(events) - limit} more")
         return "\n".join(lines)
 
     def fan_out(self) -> dict[str, int]:

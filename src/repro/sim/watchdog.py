@@ -1,0 +1,162 @@
+"""Liveness watchdog: turn silent stalls into structured diagnostics.
+
+A simulation that stops making progress normally just drains its event
+queue (or spins on retry timers until a timeout) and leaves the caller
+staring at an empty result. The watchdog observes a set of nodes through
+a caller-supplied progress function and, when progress freezes, produces
+a :class:`StallDiagnostic` naming the laggard nodes, their outstanding
+timers, and the last messages seen on the wire (via an attached
+:class:`~repro.sim.trace.NetworkTracer`).
+
+The watchdog is driven from *outside* the simulation (callers invoke
+:meth:`LivenessWatchdog.observe` between run slices), so attaching one
+adds no events to the queue and leaves same-seed runs bit-for-bit
+identical to unwatched runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.sim.node import Node
+from repro.sim.trace import NetworkTracer, TraceEvent
+
+
+@dataclass(frozen=True)
+class TimerInfo:
+    """One outstanding timer, for diagnostics."""
+
+    node_id: str
+    label: str | None
+    fires_at: float
+
+
+@dataclass
+class StallDiagnostic:
+    """Structured description of a liveness failure.
+
+    ``reason`` is ``"no-progress"`` (nodes alive but frozen for longer
+    than the stall threshold) or ``"queue-exhausted"`` (the event queue
+    drained before the goal was met — nothing left that could ever make
+    progress).
+    """
+
+    time: float
+    reason: str
+    stalled_nodes: list[str]
+    crashed_nodes: list[str]
+    progress: dict[str, int]
+    pending_timers: list[TimerInfo]
+    recent_messages: list[TraceEvent] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """Multi-line human-readable rendering."""
+        lines = [
+            f"liveness failure ({self.reason}) at t={self.time:.3f}",
+            f"  stalled nodes: {', '.join(self.stalled_nodes) or '-'}",
+            f"  crashed nodes: {', '.join(self.crashed_nodes) or '-'}",
+            "  progress: "
+            + ", ".join(f"{n}={c}" for n, c in sorted(self.progress.items())),
+        ]
+        if self.pending_timers:
+            lines.append("  outstanding timers:")
+            for info in self.pending_timers:
+                lines.append(
+                    f"    {info.node_id}: {info.label} @ {info.fires_at:.3f}"
+                )
+        else:
+            lines.append("  outstanding timers: none")
+        if self.recent_messages:
+            lines.append("  last messages on the wire:")
+            for e in self.recent_messages:
+                lines.append(
+                    f"    {e.time:9.4f}  {e.src} -> {e.dst}  {e.message_type}"
+                )
+        return "\n".join(lines)
+
+
+class LivenessWatchdog:
+    """Detects frozen progress across a set of simulated nodes.
+
+    ``progress_of`` maps a node to a monotonically non-decreasing
+    counter (for consensus replicas: the decided-log length). Call
+    :meth:`observe` periodically with the current virtual time; when no
+    node's counter has advanced for ``stall_after`` virtual seconds, it
+    returns a :class:`StallDiagnostic` (then resets, so a genuinely dead
+    run reports once per stall window rather than every slice).
+    """
+
+    def __init__(
+        self,
+        nodes: Mapping[str, Node],
+        progress_of: Callable[[Node], int],
+        stall_after: float = 5.0,
+        tracer: NetworkTracer | None = None,
+        recent: int = 10,
+    ) -> None:
+        self.nodes = dict(nodes)
+        self.progress_of = progress_of
+        self.stall_after = stall_after
+        self.tracer = tracer
+        self.recent = recent
+        self._last_progress: dict[str, int] | None = None
+        self._last_change = 0.0
+        self.diagnostics: list[StallDiagnostic] = []
+
+    def _snapshot(self) -> dict[str, int]:
+        return {
+            node_id: self.progress_of(node)
+            for node_id, node in self.nodes.items()
+        }
+
+    def observe(self, now: float) -> StallDiagnostic | None:
+        """Record current progress; report a stall when frozen too long."""
+        snapshot = self._snapshot()
+        if snapshot != self._last_progress:
+            self._last_progress = snapshot
+            self._last_change = now
+            return None
+        if now - self._last_change < self.stall_after:
+            return None
+        self._last_change = now  # report once per stall window
+        return self._diagnose("no-progress", now, snapshot)
+
+    def queue_exhausted(self, now: float) -> StallDiagnostic:
+        """Build the diagnostic for an event queue that drained before
+        the goal was met (call from the run driver)."""
+        return self._diagnose("queue-exhausted", now, self._snapshot())
+
+    def _diagnose(
+        self, reason: str, now: float, progress: dict[str, int]
+    ) -> StallDiagnostic:
+        crashed = sorted(
+            nid for nid, node in self.nodes.items() if node.crashed
+        )
+        live = {
+            nid: node for nid, node in self.nodes.items() if not node.crashed
+        }
+        # The laggards: live nodes at the minimum progress count — the
+        # nodes the run is actually waiting on.
+        floor = min(
+            (progress[nid] for nid in live), default=0
+        )
+        stalled = sorted(nid for nid in live if progress[nid] == floor)
+        timers = [
+            TimerInfo(node_id=nid, label=t.label, fires_at=t.fires_at)
+            for nid in stalled
+            for t in live[nid].outstanding_timers()
+        ]
+        diagnostic = StallDiagnostic(
+            time=now,
+            reason=reason,
+            stalled_nodes=stalled,
+            crashed_nodes=crashed,
+            progress=progress,
+            pending_timers=timers,
+            recent_messages=(
+                self.tracer.tail(self.recent) if self.tracer is not None else []
+            ),
+        )
+        self.diagnostics.append(diagnostic)
+        return diagnostic

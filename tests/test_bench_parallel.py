@@ -99,3 +99,22 @@ class TestWorkersEnvOptIn:
         monkeypatch.setenv(WORKERS_ENV, "2")
         assert env_workers() == 2
         assert sweep("skew", [0.0, 0.9], _skew_runner) == serial
+
+
+class TestResilienceSweepParallel:
+    def test_fault_rows_identical_serial_and_parallel(self):
+        # The PR determinism guarantee must extend to fault injection:
+        # every resilience case is a pure function of its case string,
+        # so fanning the grid out over workers changes nothing.
+        from repro.bench.resilience import sweep_resilience
+
+        cases = [
+            "raft/crash/3",        # CFT surviving its full tolerance
+            "pbft/crash/3",        # BFT stalled beyond tolerance
+            "hotstuff/partition/2.0",
+            "paxos/loss/0.25",
+        ]
+        serial = sweep_resilience(cases)
+        parallel = sweep_resilience(cases, workers=2)
+        assert parallel == serial
+        assert [row["case"] for row in serial] == cases

@@ -1,0 +1,331 @@
+"""The chaos engine: FaultPlan composition, interceptor verdicts,
+partition windows, crash-schedule edge cases, and the ghost-timer fix.
+
+Determinism is the load-bearing property throughout: a FaultPlan draws
+all its randomness from ``sim.rng``, so two same-seed runs must agree
+on every counter and every delivery."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.sim.core import Simulation
+from repro.sim.faults import CrashSchedule, FaultPlan, match
+from repro.sim.network import Delay, Duplicate, LanLatency, Network
+from repro.sim.node import Node
+
+
+class Recorder(Node):
+    def __init__(self, node_id, sim, network):
+        super().__init__(node_id, sim, network)
+        self.received = []
+
+    def on_message(self, src, message):
+        self.received.append((round(self.sim.now, 6), src, message))
+
+
+class Pinger:
+    """One dataclass-free message type with a distinct class name."""
+
+    def __init__(self, payload):
+        self.payload = payload
+
+
+def make_net(seed=7, n=3, jitter=0.0):
+    sim = Simulation(seed=seed)
+    net = Network(sim, latency=LanLatency(base=0.01, jitter=jitter))
+    nodes = {f"n{i}": Recorder(f"n{i}", sim, net) for i in range(n)}
+    return sim, net, nodes
+
+
+class TestMatchPredicate:
+    def test_src_dst_and_type_filters(self):
+        predicate = match(src="a", dst={"b", "c"}, message_type=Pinger)
+        assert predicate("a", "b", Pinger(1))
+        assert predicate("a", "c", Pinger(1))
+        assert not predicate("x", "b", Pinger(1))
+        assert not predicate("a", "d", Pinger(1))
+        assert not predicate("a", "b", "a plain string")
+
+    def test_type_accepts_name_or_class(self):
+        by_name = match(message_type="Pinger")
+        by_class = match(message_type=Pinger)
+        assert by_name("a", "b", Pinger(1)) and by_class("a", "b", Pinger(1))
+
+    def test_none_is_wildcard(self):
+        assert match()("anyone", "anywhere", object())
+
+
+class TestMessageRules:
+    def test_drop_window_is_half_open(self):
+        sim, net, nodes = make_net()
+        FaultPlan().drop_messages(1.0, 2.0).apply(sim, net)
+        for t in (0.5, 1.0, 1.5, 2.0, 2.5):
+            sim.schedule_at(t, nodes["n0"].send, "n1", f"m@{t}")
+        sim.run()
+        delivered = {m for _, _, m in nodes["n1"].received}
+        # [1.0, 2.0): the sends at t=1.0 and t=1.5 die, the others live.
+        assert delivered == {"m@0.5", "m@2.0", "m@2.5"}
+        assert sim.metrics.get("net.dropped.fault") == 2
+
+    def test_targeted_drop_leaves_other_traffic_alone(self):
+        sim, net, nodes = make_net()
+        FaultPlan().drop_messages(
+            0.0, 10.0, match(dst="n1", message_type=Pinger)
+        ).apply(sim, net)
+        nodes["n0"].send("n1", Pinger(1))
+        nodes["n0"].send("n1", "plain")
+        nodes["n0"].send("n2", Pinger(2))
+        sim.run()
+        assert [m for _, _, m in nodes["n1"].received] == ["plain"]
+        assert len(nodes["n2"].received) == 1
+
+    def test_delay_spike_adds_to_latency(self):
+        sim, net, nodes = make_net()
+        FaultPlan().delay_messages(0.0, 1.0, extra=0.25).apply(sim, net)
+        nodes["n0"].send("n1", "slow")
+        sim.run()
+        (at, _, _), = nodes["n1"].received
+        assert at == pytest.approx(0.26)
+        assert sim.metrics.get("net.delayed.fault") == 1
+
+    def test_duplicate_delivers_extra_copies(self):
+        sim, net, nodes = make_net()
+        FaultPlan().duplicate_messages(0.0, 1.0, copies=2).apply(sim, net)
+        nodes["n0"].send("n1", "echo")
+        sim.run()
+        assert [m for _, _, m in nodes["n1"].received] == ["echo"] * 3
+        assert sim.metrics.get("net.duplicated.fault") == 2
+
+    def test_reorder_once_lets_later_message_overtake(self):
+        sim, net, nodes = make_net()
+        FaultPlan().reorder_once(0.0, 1.0, hold=0.05).apply(sim, net)
+        nodes["n0"].send("n1", "first")
+        nodes["n0"].send("n1", "second")
+        nodes["n0"].send("n1", "third")
+        sim.run()
+        # Only the first match is held; the rest sail through in order.
+        assert [m for _, _, m in nodes["n1"].received] == [
+            "second", "third", "first",
+        ]
+
+    def test_first_matching_rule_wins(self):
+        sim, net, nodes = make_net()
+        FaultPlan().drop_messages(0.0, 1.0).duplicate_messages(
+            0.0, 1.0, copies=5
+        ).apply(sim, net)
+        nodes["n0"].send("n1", "contested")
+        sim.run()
+        assert nodes["n1"].received == []
+        assert sim.metrics.get("net.duplicated.fault") == 0
+
+    def test_builder_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            FaultPlan().drop_messages(2.0, 1.0)
+        with pytest.raises(ConfigError):
+            FaultPlan().drop_messages(-0.5, 1.0)
+        with pytest.raises(ConfigError):
+            FaultPlan().drop_messages(0.0, 1.0, probability=0.0)
+        with pytest.raises(ConfigError):
+            FaultPlan().drop_messages(0.0, 1.0, probability=1.5)
+        with pytest.raises(ConfigError):
+            FaultPlan().delay_messages(0.0, 1.0, extra=-0.1)
+        with pytest.raises(ConfigError):
+            FaultPlan().duplicate_messages(0.0, 1.0, copies=0)
+        with pytest.raises(ConfigError):
+            FaultPlan().reorder_once(0.0, 1.0, hold=0.0)
+
+    def test_interceptor_verdicts_validate(self):
+        with pytest.raises(ConfigError):
+            Delay(-0.1)
+        with pytest.raises(ConfigError):
+            Duplicate(0)
+
+
+class TestDeterminism:
+    @staticmethod
+    def _chaos_run(seed):
+        sim, net, nodes = make_net(seed=seed, n=4, jitter=0.002)
+        plan = (
+            FaultPlan()
+            .crash(0.30, "n3")
+            .recover(0.60, "n3")
+            .partition_window(0.40, 0.80, [["n0", "n1"], ["n2", "n3"]])
+            .drop_messages(0.0, 1.0, probability=0.4)
+            .delay_messages(0.2, 0.9, match(dst="n1"), extra=0.01,
+                            probability=0.5)
+            .duplicate_messages(0.5, 1.0, match(src="n2"), probability=0.5)
+        )
+        plan.apply(sim, net)
+
+        def tick(i=0):
+            for src in ("n0", "n2"):
+                nodes[src].broadcast(Pinger(i))
+            if i < 40:
+                sim.schedule(0.025, tick, i + 1)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        trace = {
+            nid: [(at, src, m.payload) for at, src, m in node.received]
+            for nid, node in nodes.items()
+        }
+        return trace, sim.metrics.by_prefix("net.")
+
+    def test_same_seed_same_counters_and_deliveries(self):
+        assert self._chaos_run(11) == self._chaos_run(11)
+
+    def test_different_seed_diverges(self):
+        # Guards against the determinism test passing vacuously (e.g.
+        # if the probabilistic rules stopped consulting the RNG at all).
+        assert self._chaos_run(11) != self._chaos_run(12)
+
+    def test_same_seed_same_drop_counters_under_loss(self):
+        def run(seed):
+            sim, net, nodes = make_net(seed=seed)
+            net.drop_probability = 0.3
+            for i in range(60):
+                sim.schedule_at(i * 0.01, nodes["n0"].broadcast, Pinger(i))
+            sim.run()
+            return sim.metrics.by_prefix("net.dropped")
+
+        assert run(5) == run(5)
+
+
+class TestPartitionWindows:
+    def test_partition_and_heal_are_scheduled(self):
+        sim, net, nodes = make_net()
+        FaultPlan().partition_window(
+            1.0, 2.0, [["n0"], ["n1", "n2"]]
+        ).apply(sim, net)
+        for t in (0.5, 1.5, 2.5):
+            sim.schedule_at(t, nodes["n0"].send, "n1", f"m@{t}")
+        sim.run()
+        assert [m for _, _, m in nodes["n1"].received] == ["m@0.5", "m@2.5"]
+        assert sim.metrics.get("net.dropped.partition") == 1
+
+    def test_overlapping_windows_rejected(self):
+        plan = FaultPlan().partition_window(1.0, 3.0, [["a"], ["b"]])
+        with pytest.raises(ConfigError):
+            plan.partition_window(2.0, 4.0, [["a"], ["b"]])
+        # Touching windows are fine: [start, end) half-open semantics.
+        plan.partition_window(3.0, 4.0, [["a"], ["b"]])
+
+    def test_degenerate_window_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan().partition_window(2.0, 2.0, [["a"], ["b"]])
+
+    def test_plan_applies_only_once(self):
+        sim, net, _ = make_net()
+        plan = FaultPlan().drop_messages(0.0, 1.0)
+        plan.apply(sim, net)
+        with pytest.raises(ConfigError):
+            plan.apply(sim, net)
+
+
+class TestPartitionMembershipValidation:
+    def test_unregistered_node_rejected(self):
+        _, net, _ = make_net()
+        with pytest.raises(ConfigError, match="unregistered"):
+            net.partition([["n0", "ghost"], ["n1", "n2"]])
+
+    def test_node_in_two_groups_rejected(self):
+        _, net, _ = make_net()
+        with pytest.raises(ConfigError, match="more than one"):
+            net.partition([["n0", "n1"], ["n1", "n2"]])
+
+    def test_omitted_node_rejected(self):
+        # The silent-membership hazard: a node left out of every group
+        # must be a loud error, not an implicit extra partition.
+        _, net, _ = make_net()
+        with pytest.raises(ConfigError, match="omits"):
+            net.partition([["n0"], ["n1"]])
+
+    def test_failed_partition_leaves_network_connected(self):
+        sim, net, nodes = make_net()
+        with pytest.raises(ConfigError):
+            net.partition([["n0"], ["n1"]])
+        nodes["n0"].send("n1", "still flows")
+        sim.run()
+        assert len(nodes["n1"].received) == 1
+
+
+class TestCrashSchedule:
+    def test_negative_and_infinite_times_rejected(self):
+        schedule = CrashSchedule()
+        with pytest.raises(ConfigError):
+            schedule.crash_at(-1.0, "n0")
+        with pytest.raises(ConfigError):
+            schedule.recover_at(float("inf"), "n0")
+        with pytest.raises(ConfigError):
+            schedule.crash_at(float("nan"), "n0")
+
+    def test_unknown_node_rejected_at_apply(self):
+        sim, net, nodes = make_net()
+        with pytest.raises(ConfigError, match="unknown"):
+            CrashSchedule().crash_at(1.0, "ghost").apply(sim, nodes)
+
+    def test_same_time_crash_and_recover_is_deterministic(self):
+        # Crashes are scheduled before recoveries, so an equal-time
+        # crash+recover leaves the node up — but with its pre-crash
+        # timers invalidated.
+        sim, net, nodes = make_net()
+        fired = []
+        nodes["n0"].set_timer(2.0, lambda: fired.append("ghost"))
+        schedule = CrashSchedule().crash_at(1.0, "n0").recover_at(1.0, "n0")
+        schedule.apply(sim, nodes)
+        sim.run()
+        assert not nodes["n0"].crashed
+        assert fired == []
+
+    def test_duplicate_actions_are_idempotent(self):
+        sim, net, nodes = make_net()
+        schedule = (
+            CrashSchedule()
+            .crash_at(1.0, "n0").crash_at(1.0, "n0")
+            .recover_at(2.0, "n0").recover_at(2.0, "n0")
+        )
+        schedule.apply(sim, nodes)
+        sim.run()
+        assert not nodes["n0"].crashed
+
+
+class TestGhostTimers:
+    def test_timer_set_before_crash_never_fires_after_recovery(self):
+        sim, net, nodes = make_net()
+        fired = []
+        node = nodes["n0"]
+        node.set_timer(2.0, lambda: fired.append("pre-crash"))
+        sim.schedule_at(1.0, node.crash)
+        sim.schedule_at(1.5, node.recover)
+        sim.run()
+        assert fired == []
+
+    def test_timer_set_after_recovery_fires(self):
+        sim, net, nodes = make_net()
+        fired = []
+        node = nodes["n0"]
+        sim.schedule_at(1.0, node.crash)
+        sim.schedule_at(1.5, node.recover)
+        sim.schedule_at(
+            1.6, lambda: node.set_timer(0.5, lambda: fired.append("fresh"))
+        )
+        sim.run()
+        assert fired == ["fresh"]
+
+    def test_on_recover_hook_runs_once_per_actual_recovery(self):
+        sim, net, nodes = make_net()
+        calls = []
+        node = nodes["n0"]
+        node.on_recover = lambda: calls.append(sim.now)
+        node.recover()  # not crashed: a no-op, hook must not run
+        node.crash()
+        node.recover()
+        assert calls == [0.0]
+
+    def test_crash_clears_outstanding_timer_list(self):
+        sim, net, nodes = make_net()
+        node = nodes["n0"]
+        node.set_timer(5.0, lambda: None, label="doomed")
+        assert [t.label for t in node.outstanding_timers()] == ["doomed"]
+        node.crash()
+        assert node.outstanding_timers() == []
