@@ -6,11 +6,17 @@
     python -m repro consensus --n 7      # protocol comparison
     python -m repro shard --clusters 4   # the four sharded systems
     python -m repro resilience           # fault-injection sweep
+    python -m repro fuzz --protocol raft --runs 50 --seed 7
+    python -m repro replay capsule.json  # re-run a saved failing schedule
+    python -m repro explore --protocol pbft --budget 60
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import sys
+from pathlib import Path
 
 from repro.bench import (
     compare_systems,
@@ -23,6 +29,16 @@ from repro.bench import (
 from repro.common.types import Transaction
 from repro.consensus import PROTOCOLS, ConsensusCluster
 from repro.core import SYSTEMS, OxSystem, SystemConfig
+from repro.simtest import (
+    FuzzConfig,
+    ScenarioSpec,
+    default_axes,
+    explore,
+    replay_capsule,
+    replay_matches_expectation,
+    run_fuzz,
+    save_capsule,
+)
 from repro.sharding import (
     AhlSystem,
     ResilientDbSystem,
@@ -165,6 +181,79 @@ def cmd_shard(args) -> None:
     )
 
 
+def _scenario_from_args(args) -> ScenarioSpec:
+    flags = ("ghost-timers",) if getattr(args, "ghost_timers", False) else ()
+    return ScenarioSpec(
+        target=args.target,
+        protocol=args.protocol,
+        architecture=args.architecture,
+        n=args.n,
+        txs=args.txs,
+        seed=0,  # per-run seeds come from the campaign master seed
+        flags=flags,
+    )
+
+
+def _save_failure_capsules(failures, save_dir: str) -> list[str]:
+    directory = Path(save_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for failure in failures:
+        capsule = failure["capsule"]
+        seed = capsule["scenario"]["seed"]
+        name = f"capsule-{capsule['scenario']['protocol']}-{seed}.json"
+        paths.append(str(save_capsule(directory / name, capsule)))
+    return paths
+
+
+def cmd_fuzz(args) -> int:
+    """Seeded fuzz campaign; output is byte-identical for equal args."""
+    config = FuzzConfig(
+        scenario=_scenario_from_args(args),
+        runs=args.runs,
+        seed=args.seed,
+        max_faults=args.max_faults,
+        shrink=not args.no_shrink,
+    )
+    report = run_fuzz(config)
+    print(json.dumps(report.to_jsonable(), indent=2, sort_keys=True))
+    if report.failures and args.save_dir:
+        for path in _save_failure_capsules(report.failures, args.save_dir):
+            print(f"saved: {path}", file=sys.stderr)
+    return 1 if report.violations else 0
+
+
+def cmd_explore(args) -> int:
+    """Bounded deterministic sweep of the perturbation axes."""
+    scenario = _scenario_from_args(args)
+    axes = default_axes(scenario, density=args.density)
+    report = explore(scenario, axes, budget=args.budget)
+    print(json.dumps(report.to_jsonable(), indent=2, sort_keys=True))
+    if report.failures and args.save_dir:
+        for path in _save_failure_capsules(report.failures, args.save_dir):
+            print(f"saved: {path}", file=sys.stderr)
+    return 1 if report.violations else 0
+
+
+def cmd_replay(args) -> int:
+    """Re-run saved capsules; exit 0 iff every replay matches its
+    ``expect`` field (violation capsules must still violate, clean
+    capsules must still pass)."""
+    exit_code = 0
+    for path in args.capsules:
+        result, capsule = replay_capsule(path)
+        matched = replay_matches_expectation(result, capsule)
+        expect = capsule.get("expect", "violation")
+        got = "clean" if result.ok else "violation"
+        status = "OK" if matched else "MISMATCH"
+        print(f"{status}: {path} (expect={expect}, got={got})")
+        for violation in result.violations:
+            print("  " + violation.replace("\n", "\n  "))
+        if not matched:
+            exit_code = 1
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -225,14 +314,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resilience.set_defaults(fn=cmd_resilience)
 
+    def add_scenario_args(p) -> None:
+        p.add_argument(
+            "--target", choices=("consensus", "system"), default="consensus"
+        )
+        p.add_argument("--protocol", default="raft",
+                       help="consensus protocol (and system orderer)")
+        p.add_argument("--architecture", default="xov",
+                       help="system architecture (with --target system)")
+        p.add_argument("--n", type=int, default=4, help="cluster size")
+        p.add_argument("--txs", type=int, default=4)
+        p.add_argument(
+            "--ghost-timers", action="store_true",
+            help="re-introduce the fixed ghost-timer kernel bug "
+            "(regression target for the fuzzer itself)",
+        )
+        p.add_argument(
+            "--save-dir", default="",
+            help="write a repro capsule per failure into this directory",
+        )
+
+    fuzz = sub.add_parser(
+        "fuzz", help="seeded random fault-plan fuzzing with auto-shrink"
+    )
+    add_scenario_args(fuzz)
+    fuzz.add_argument("--runs", type=int, default=50)
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="campaign master seed (fixes the whole run)")
+    fuzz.add_argument("--max-faults", type=int, default=4)
+    fuzz.add_argument("--no-shrink", action="store_true")
+    fuzz.set_defaults(fn=cmd_fuzz)
+
+    explore_p = sub.add_parser(
+        "explore", help="bounded enumeration of schedule perturbations"
+    )
+    add_scenario_args(explore_p)
+    explore_p.add_argument("--budget", type=int, default=100,
+                           help="max plans to enumerate")
+    explore_p.add_argument("--density", type=int, default=3,
+                           help="crash-time samples per victim")
+    explore_p.set_defaults(fn=cmd_explore)
+
+    replay = sub.add_parser(
+        "replay", help="re-run saved repro capsules and check expectations"
+    )
+    replay.add_argument("capsules", nargs="+", metavar="capsule.json")
+    replay.set_defaults(fn=cmd_replay)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     with profiled(enabled=args.profile):
-        args.fn(args)
-    return 0
+        code = args.fn(args)
+    return int(code or 0)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

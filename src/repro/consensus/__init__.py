@@ -34,11 +34,15 @@ from repro.consensus.hybrid import (
 )
 from repro.consensus.ibft import IbftReplica
 from repro.consensus.monitors import (
+    MONITOR_REGISTRY,
     ConflictingCommitMonitor,
+    DurableDecisionMonitor,
     GuardedRun,
     PrefixConsistencyMonitor,
     SafetyMonitor,
     guarded_run_until_decided,
+    register_monitor,
+    standard_monitors,
 )
 from repro.consensus.paxos import PaxosReplica
 from repro.consensus.pbft import EquivocatingPbftReplica, PbftReplica
@@ -56,9 +60,11 @@ PROTOCOLS = {
 }
 
 __all__ = [
+    "MONITOR_REGISTRY",
     "PROTOCOLS",
     "ClusterConfig",
     "ConflictingCommitMonitor",
+    "DurableDecisionMonitor",
     "ConsensusCluster",
     "ConsensusReplica",
     "DelayingPbftReplica",
@@ -81,4 +87,6 @@ __all__ = [
     "make_hybrid_cluster",
     "proposer_schedule",
     "pure_byzantine_size",
+    "register_monitor",
+    "standard_monitors",
 ]

@@ -180,7 +180,13 @@ class HotStuffReplica(ConsensusReplica):
     # -- client path ---------------------------------------------------------
 
     def submit(self, value: Any) -> None:
-        self._requests[_digest_value(value)] = value
+        digest = _digest_value(value)
+        if digest in self._decided_value_digests:
+            # Duplicate of a decided request (client retry): retransmit
+            # so lagging replicas learn of it, but don't reopen it.
+            self.broadcast(ClientRequest(value=value), targets=self.peers)
+            return
+        self._requests[digest] = value
         self.broadcast(ClientRequest(value=value), targets=self.peers)
         if self._leader_of(self.view) == self.node_id:
             self._maybe_propose()
@@ -252,9 +258,11 @@ class HotStuffReplica(ConsensusReplica):
 
     def on_message(self, src: str, message: object) -> None:
         if isinstance(message, ClientRequest):
-            self._requests.setdefault(_digest_value(message.value), message.value)
-            if self._leader_of(self.view) == self.node_id:
-                self._maybe_propose()
+            digest = _digest_value(message.value)
+            if digest not in self._decided_value_digests:
+                self._requests.setdefault(digest, message.value)
+                if self._leader_of(self.view) == self.node_id:
+                    self._maybe_propose()
         elif isinstance(message, Proposal):
             self._on_proposal(src, message)
         elif isinstance(message, Vote):

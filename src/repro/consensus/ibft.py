@@ -91,7 +91,13 @@ class IbftReplica(ConsensusReplica):
     # -- client path -----------------------------------------------------------
 
     def submit(self, value: Any) -> None:
-        self._requests[_digest(value)] = value
+        digest = _digest(value)
+        if digest in self._decided_digests():
+            # Duplicate of a decided request (client retry): retransmit
+            # so lagging validators learn of it, but don't reopen it.
+            self.broadcast(ClientRequest(value=value), targets=self.peers)
+            return
+        self._requests[digest] = value
         self.broadcast(ClientRequest(value=value), targets=self.peers)
         self._ensure_active()
 

@@ -12,20 +12,50 @@ the whole cluster):
   different values at the same sequence/height (the agreement property).
 * :class:`PrefixConsistencyMonitor` — correct replicas' decided logs
   stay prefix-consistent on every decide.
+* :class:`DurableDecisionMonitor` — each replica's decided log grows
+  strictly in order and is never rewritten or truncated, including
+  across crash/recover cycles (the durability property).
+
+Monitors register by name in :data:`MONITOR_REGISTRY` so the DST engine
+(:mod:`repro.simtest`) can select invariants declaratively; use
+:func:`standard_monitors` for the full set.
 
 :func:`guarded_run_until_decided` drives a cluster like
 ``run_until_decided`` but wires a :class:`~repro.sim.watchdog.LivenessWatchdog`
 between run slices, converting silent stalls and exhausted event queues
-into a structured :class:`~repro.sim.watchdog.StallDiagnostic`.
+into a structured :class:`~repro.sim.watchdog.StallDiagnostic`. A run
+that fails for *any* reason always carries a diagnostic — including
+plain timeouts, which previously surfaced as a bare ``decided=False``
+with the stall details swallowed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from repro.sim.trace import NetworkTracer
 from repro.sim.watchdog import LivenessWatchdog, StallDiagnostic
+
+#: Named invariant registry: name -> zero-arg monitor factory. The DST
+#: fuzzer, capsules, and CLI select monitors through these names.
+MONITOR_REGISTRY: dict[str, Callable[[], "SafetyMonitor"]] = {}
+
+
+def register_monitor(name: str):
+    """Class decorator: publish a monitor under ``name``."""
+
+    def decorate(cls):
+        MONITOR_REGISTRY[name] = cls
+        cls.registry_name = name
+        return cls
+
+    return decorate
+
+
+def standard_monitors() -> list["SafetyMonitor"]:
+    """Fresh instances of every registered monitor (sorted by name)."""
+    return [MONITOR_REGISTRY[name]() for name in sorted(MONITOR_REGISTRY)]
 
 
 class SafetyMonitor:
@@ -55,6 +85,7 @@ class SafetyMonitor:
         return self.ok
 
 
+@register_monitor("conflicting-commit")
 class ConflictingCommitMonitor(SafetyMonitor):
     """No two committed values at the same sequence across the cluster."""
 
@@ -74,6 +105,7 @@ class ConflictingCommitMonitor(SafetyMonitor):
             )
 
 
+@register_monitor("prefix-consistency")
 class PrefixConsistencyMonitor(SafetyMonitor):
     """Correct replicas' decided logs are prefix-consistent, checked on
     every decide (catches transient divergence an end-of-run comparison
@@ -88,9 +120,56 @@ class PrefixConsistencyMonitor(SafetyMonitor):
             )
 
 
+@register_monitor("durable-decision")
+class DurableDecisionMonitor(SafetyMonitor):
+    """Decisions are durable: each replica reports sequences strictly in
+    order (0, 1, 2, …), never rewrites one, and its ``decided`` log at
+    the end of the run still starts with everything it ever reported —
+    a crash/recover cycle must not lose or mutate committed entries."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._logs: dict[str, list[Any]] = {}
+
+    def on_decide(self, node_id: str, sequence: int, value: Any) -> None:
+        log = self._logs.setdefault(node_id, [])
+        if sequence < len(log):
+            if log[sequence] != value:
+                self.violations.append(
+                    f"{node_id} rewrote seq {sequence}: "
+                    f"{log[sequence]!r} -> {value!r}"
+                )
+        elif sequence == len(log):
+            log.append(value)
+        else:
+            self.violations.append(
+                f"{node_id} decided seq {sequence} out of order "
+                f"(expected {len(log)})"
+            )
+
+    def check(self) -> bool:
+        if self._cluster is not None:
+            for node_id, log in self._logs.items():
+                replica = self._cluster.replicas.get(node_id)
+                if replica is None:
+                    continue
+                if list(replica.decided[:len(log)]) != log:
+                    self.violations.append(
+                        f"{node_id} lost durability: decided log no longer "
+                        f"starts with its {len(log)} reported decisions"
+                    )
+        return self.ok
+
+
 @dataclass
 class GuardedRun:
-    """Outcome of :func:`guarded_run_until_decided`."""
+    """Outcome of :func:`guarded_run_until_decided`.
+
+    A failed run (``decided`` False) always carries ``diagnostic`` —
+    stalls, exhausted queues, *and* plain timeouts all produce one — so
+    callers (the fuzz loop, test assertions) never lose the stall
+    details to a silent ``False``.
+    """
 
     decided: bool
     diagnostic: StallDiagnostic | None
@@ -100,6 +179,17 @@ class GuardedRun:
     @property
     def ok(self) -> bool:
         return self.decided and self.monitors_ok
+
+    def failure_summary(self) -> str:
+        """The full failure payload: violations plus the structured
+        stall diagnostic (for assertion messages and fuzz capsules)."""
+        lines: list[str] = []
+        if not self.decided:
+            lines.append("liveness: goal not reached")
+        lines.extend(f"safety: {violation}" for violation in self.violations)
+        if self.diagnostic is not None:
+            lines.append(self.diagnostic.summary())
+        return "\n".join(lines) if lines else "ok"
 
 
 def guarded_run_until_decided(
@@ -153,9 +243,18 @@ def guarded_run_until_decided(
                 diagnostic = watchdog.queue_exhausted(sim.now)
             break
     decided = goal_met()
+    if not decided and diagnostic is None:
+        # Timed out before the stall threshold ever elapsed between
+        # slices (e.g. short timeout, or progress froze only near the
+        # deadline): still surface the structured diagnostic instead of
+        # a bare False.
+        diagnostic = watchdog.timed_out(sim.now)
+    monitors = list(getattr(cluster, "monitors", []))
+    for monitor in monitors:
+        monitor.check()  # end-of-run invariants (e.g. durability)
     violations = [
         violation
-        for monitor in getattr(cluster, "monitors", [])
+        for monitor in monitors
         for violation in monitor.violations
     ]
     return GuardedRun(

@@ -28,6 +28,15 @@ Ballot = tuple[int, int]  # (attempt, replica_index); totally ordered
 
 ZERO_BALLOT: Ballot = (-1, -1)
 
+#: Gap filler: a new leader proposes this for any slot below its next
+#: slot that no promiser reported an acceptance for. Quorum intersection
+#: makes this safe — a *chosen* value is always reported by at least one
+#: promiser — and it unblocks the in-order decided log, which would
+#: otherwise wedge forever on an unchosen hole (a liveness bug the DST
+#: fuzzer found: one dropped Accept round left slot 0 empty while later
+#: slots kept deciding, so no replica ever released anything).
+NOOP = "__paxos-noop__"
+
 
 @dataclass(frozen=True)
 class ClientRequest:
@@ -91,7 +100,11 @@ class PaxosReplica(ConsensusReplica):
         self._next_slot = 0
         self._accept_votes: dict[int, set[str]] = {}
         self._proposals: dict[int, Any] = {}
-        self._proposed_digests: set[str] = set()
+        #: digest -> slot this proposer last placed the value in. Slot-
+        #: aware (not a plain "ever proposed" set): if the slot ends up
+        #: decided with a *different* value (e.g. a no-op gap fill), the
+        #: value must be proposable again at a fresh slot.
+        self._slot_of: dict[str, int] = {}
         # Shared.
         self._requests: dict[str, Any] = {}
         self._progress_timer = None
@@ -103,18 +116,41 @@ class PaxosReplica(ConsensusReplica):
     # -- client path ---------------------------------------------------------
 
     def submit(self, value: Any) -> None:
-        self._requests[_digest(value)] = value
+        digest = _digest(value)
+        if any(_digest(v) == digest for v in self._decided_at.values()):
+            # Duplicate of a decided request (client retry): retransmit
+            # for laggards, but never reopen it locally — see the PBFT
+            # submit path for the liveness bug this prevents.
+            self.broadcast(ClientRequest(value=value), targets=self.peers)
+            return
+        self._requests[digest] = value
         self.broadcast(ClientRequest(value=value), targets=self.peers)
         if self._is_leader:
             self._propose(value)
         self._arm_progress_timer()
 
-    def _arm_progress_timer(self) -> None:
-        if self._progress_timer is not None:
-            self._progress_timer.cancel()
-        if not self._requests:
-            self._progress_timer = None
+    def _arm_progress_timer(self, restart: bool = False) -> None:
+        """Start the retry timer if not running; restart only on progress.
+
+        Resetting a live timer on every duplicate client retransmission
+        would postpone the timeout indefinitely and starve the leader
+        takeover exactly when the cluster is wedged (the same starvation
+        the DST fuzzer found in PBFT's view-progress timer).
+
+        The timer also stays armed while decided-but-unreleased slots
+        exist (``_out_of_order`` nonempty): a hole below them blocks the
+        in-order log, and with ``_requests`` empty nothing else would
+        ever trigger the no-op fill that plugs it.
+        """
+        if not self._requests and not self._out_of_order:
+            if self._progress_timer is not None:
+                self._progress_timer.cancel()
+                self._progress_timer = None
             return
+        if self._progress_timer is not None and self._progress_timer.pending:
+            if not restart:
+                return
+            self._progress_timer.cancel()
         # Stagger timeouts by replica index so a single replica takes
         # over cleanly instead of duelling proposers livelocking.
         delay = self.config.base_timeout * (1.0 + 0.5 * self._index)
@@ -129,15 +165,38 @@ class PaxosReplica(ConsensusReplica):
         super().on_recover()
         self._is_leader = False
         self._promises = {}
-        self._arm_progress_timer()
+        self._arm_progress_timer(restart=True)
 
     def _on_progress_timeout(self) -> None:
-        if not self._requests:
+        decided = {_digest(v) for v in self._decided_at.values()}
+        self._requests = {
+            d: v for d, v in self._requests.items() if d not in decided
+        }
+        if not self._requests and not self._out_of_order:
+            self._progress_timer = None
             return
         for value in self._requests.values():
             self.broadcast(ClientRequest(value=value), targets=self.peers)
-        self._try_lead()
-        self._arm_progress_timer()
+        if self._is_leader:
+            # Still leading (no higher ballot demoted us): the stall is
+            # message loss, so retransmit Accepts for undecided slots
+            # and propose anything new, instead of burning the ballot.
+            for slot, value in sorted(self._proposals.items()):
+                if not self.has_decided(slot):
+                    self._send_accepts(slot, value)
+            # Plug holes below the highest decided slot that this leader
+            # never proposed into (safe for the same quorum-intersection
+            # reason as the _on_promise fill: a value chosen under an
+            # older ballot would have appeared in our promise quorum,
+            # and one chosen under ours would be in _proposals).
+            for slot in range(max(self._decided_at, default=-1)):
+                if not self.has_decided(slot) and slot not in self._proposals:
+                    self._send_accepts(slot, NOOP)
+            for value in list(self._requests.values()):
+                self._propose(value)
+        else:
+            self._try_lead()
+        self._arm_progress_timer(restart=True)
 
     # -- leadership (phase 1) ---------------------------------------------------
 
@@ -145,6 +204,11 @@ class PaxosReplica(ConsensusReplica):
         self._attempt += 1
         self._ballot = (self._attempt, self._index)
         self._promises = {}
+        # Leadership must be re-earned under the new ballot: staying
+        # "leader" here would make _on_promise discard the very quorum
+        # this prepare phase is collecting (every subsequent round would
+        # be a no-op and a wedged slot could never be re-proposed).
+        self._is_leader = False
         prepare = Prepare(ballot=self._ballot, sender=self.node_id)
         self.broadcast(prepare, targets=self.peers)
         self._on_prepare(prepare)  # promise to ourselves
@@ -183,6 +247,16 @@ class PaxosReplica(ConsensusReplica):
         for slot, (_, value) in sorted(best.items()):
             self._send_accepts(slot, value)
             self._next_slot = max(self._next_slot, slot + 1)
+        self._next_slot = max(
+            self._next_slot, max(self._decided_at, default=-1) + 1
+        )
+        # Fill unreported holes with no-ops so the in-order log can
+        # drain. Safe by quorum intersection: any chosen slot appears in
+        # at least one promise of this quorum.
+        for slot in range(self._next_slot):
+            if slot in best or self.has_decided(slot):
+                continue
+            self._send_accepts(slot, NOOP)
         for value in list(self._requests.values()):
             self._propose(value)
 
@@ -190,11 +264,17 @@ class PaxosReplica(ConsensusReplica):
 
     def _propose(self, value: Any) -> None:
         digest = _digest(value)
-        if digest in self._proposed_digests:
-            return
-        self._proposed_digests.add(digest)
+        slot = self._slot_of.get(digest)
+        if slot is not None:
+            if not self.has_decided(slot):
+                return  # still in flight at that slot
+            if _digest(self._decided_at[slot]) == digest:
+                return  # already chosen there
+            # The slot was decided with something else (gap fill):
+            # fall through and re-propose at a fresh slot.
         slot = self._next_slot
         self._next_slot += 1
+        self._slot_of[digest] = slot
         self._send_accepts(slot, value)
 
     def _send_accepts(self, slot: int, value: Any) -> None:
@@ -237,7 +317,7 @@ class PaxosReplica(ConsensusReplica):
         if not self.has_decided(slot):
             self._decide(slot, value)
         self._requests.pop(_digest(value), None)
-        self._arm_progress_timer()
+        self._arm_progress_timer(restart=True)  # progress: fresh timeout
 
     # -- dispatch --------------------------------------------------------------------
 

@@ -26,6 +26,15 @@ def _digest(value: Any) -> str:
     return sha256_hex(repr(value))
 
 
+#: Null request (Castro & Liskov section 4.4): a new leader fills
+#: sequence gaps below its high-water mark with pre-prepares for this
+#: value, so the in-order decided log can always drain. Safe: a gap is
+#: only filled when no prepared certificate for it exists anywhere in
+#: the view-change quorum, and quorum intersection guarantees any
+#: *decided* sequence has such a certificate in every quorum.
+NOOP = "__pbft-null__"
+
+
 @dataclass(frozen=True)
 class Request:
     value: Any
@@ -110,7 +119,10 @@ class PbftReplica(ConsensusReplica):
         self._next_seq = 0  # leader's proposal counter
         self._slots: dict[tuple[int, int], _SlotState] = {}
         self._requests: dict[str, Any] = {}  # digest -> undecided value
-        self._proposed_digests: set[str] = set()
+        #: digest -> sequence this replica last proposed the value at.
+        #: Slot-aware so a value whose sequence was filled with a null
+        #: request in a later view can be proposed again.
+        self._seq_of: dict[str, int] = {}
         self._view_change_votes: dict[int, dict[str, ViewChange]] = {}
         self._in_view_change = False
         self._view_change_target = 0
@@ -132,13 +144,30 @@ class PbftReplica(ConsensusReplica):
     def _slot(self, view: int, seq: int) -> _SlotState:
         return self._slots.setdefault((view, seq), _SlotState())
 
-    def _arm_timer(self) -> None:
-        """(Re)arm the progress timer while any request is undecided."""
-        if self._view_timer is not None:
-            self._view_timer.cancel()
-        if not self._requests:
-            self._view_timer = None
+    def _arm_timer(self, restart: bool = False) -> None:
+        """Manage the view-progress timer (Castro & Liskov section 4.4).
+
+        A backup *starts* the timer when it is waiting on a request and
+        the timer is not already running, and *restarts* it only when
+        progress happens (a decision, a view entered). Duplicate client
+        retransmissions must NOT reset a running timer — that would
+        postpone the timeout forever and starve the view change exactly
+        when the cluster is wedged (a liveness bug the DST fuzzer found).
+
+        The timer also stays armed while decided-but-unreleased slots
+        exist (``_out_of_order`` nonempty): a hole below them blocks the
+        in-order log, and only a view change (whose new leader null-fills
+        gaps) can plug it once ``_requests`` has drained.
+        """
+        if not self._requests and not self._out_of_order:
+            if self._view_timer is not None:
+                self._view_timer.cancel()
+                self._view_timer = None
             return
+        if self._view_timer is not None and self._view_timer.pending:
+            if not restart:
+                return
+            self._view_timer.cancel()
         delay = self.config.base_timeout * self._timeout_factor
         self._view_timer = self.set_timer(
             delay, self._on_progress_timeout, label="view-progress"
@@ -148,12 +177,21 @@ class PbftReplica(ConsensusReplica):
         """Restart semantics: re-arm the view-progress timer for any
         undecided requests (pre-crash timers died with the crash)."""
         super().on_recover()
-        self._arm_timer()
+        self._arm_timer(restart=True)
 
     # -- client path ----------------------------------------------------------
 
     def submit(self, value: Any) -> None:
         digest = _digest(value)
+        if digest in self._decided_digests():
+            # Duplicate of an already-decided request (client retry):
+            # retransmit so laggards learn of it, but never reopen it
+            # locally — a decided digest parked in ``_requests`` makes
+            # the progress timer demand view changes for work that is
+            # already done, wedging this replica in a view change no
+            # one else wants (a liveness bug the DST fuzzer found).
+            self.broadcast(Request(value=value), targets=self.peers)
+            return
         self._requests[digest] = value
         # As in PBFT, the request reaches every replica (not only the
         # leader) so that all replicas can time out and demand a view
@@ -165,11 +203,17 @@ class PbftReplica(ConsensusReplica):
 
     def _propose(self, value: Any) -> None:
         digest = _digest(value)
-        if digest in self._proposed_digests:
-            return
-        self._proposed_digests.add(digest)
+        seq = self._seq_of.get(digest)
+        if seq is not None:
+            if not self.has_decided(seq):
+                return  # still in flight at that sequence
+            if _digest(self._decided_at[seq]) == digest:
+                return  # already decided there
+            # Sequence was decided with something else (null fill):
+            # fall through and re-propose at a fresh sequence.
         seq = self._next_seq
         self._next_seq += 1
+        self._seq_of[digest] = seq
         message = PrePrepare(view=self.view, seq=seq, digest=digest, value=value)
         self.broadcast(message, targets=self.peers)
         self._accept_preprepare(message)
@@ -288,7 +332,7 @@ class PbftReplica(ConsensusReplica):
         self._decide(seq, slot.value)
         self._requests.pop(slot.digest, None)
         self._timeout_factor = 1.0
-        self._arm_timer()
+        self._arm_timer(restart=True)  # progress: restart the timeout
         self._maybe_checkpoint(seq)
 
     # -- checkpoints ---------------------------------------------------------------
@@ -314,7 +358,15 @@ class PbftReplica(ConsensusReplica):
     # -- view change ------------------------------------------------------------------
 
     def _on_progress_timeout(self) -> None:
-        if not self._requests:
+        # Drop entries that were decided through a path that missed the
+        # bookkeeping (defence in depth): never demand a view change for
+        # work that is already done.
+        decided = self._decided_digests()
+        self._requests = {
+            d: v for d, v in self._requests.items() if d not in decided
+        }
+        if not self._requests and not self._out_of_order:
+            self._view_timer = None
             return
         self._start_view_change(max(self.view, self._view_change_target) + 1)
 
@@ -326,10 +378,15 @@ class PbftReplica(ConsensusReplica):
         self._view_change_target = new_view
         self._in_view_change = True
         self._timeout_factor *= 2  # exponential backoff across failed views
+        # Report every prepared certificate above the stable checkpoint —
+        # including ones this replica already decided (as in the paper's
+        # P set). Omitting decided slots lets a new leader skip a
+        # sequence some replicas decided and others never saw, leaving a
+        # permanent hole in the in-order log.
         prepared = tuple(
             (seq, slot.digest, slot.value, view)
             for (view, seq), slot in sorted(self._slots.items())
-            if slot.prepared and not self.has_decided(seq)
+            if slot.prepared
         )
         message = ViewChange(
             new_view=new_view,
@@ -345,7 +402,9 @@ class PbftReplica(ConsensusReplica):
         for value in self._requests.values():
             self.broadcast(Request(value=value), targets=self.peers)
         self._on_view_change(message)
-        self._arm_timer()  # keep ticking in case this view change also stalls
+        # Keep ticking in case this view change also stalls (restart:
+        # the new, backed-off timeout replaces the one that just fired).
+        self._arm_timer(restart=True)
 
     def _on_view_change(self, message: ViewChange) -> None:
         if message.new_view <= self.view:
@@ -383,15 +442,34 @@ class PbftReplica(ConsensusReplica):
                 pending[_digest(value)] = value
             max_seq = max(max_seq, vote.last_decided)
         max_seq = max(max_seq, max(self._decided_at, default=-1))
-        preprepares = []
-        for seq, (_, digest, value) in sorted(best.items()):
-            preprepares.append(
-                PrePrepare(view=new_view, seq=seq, digest=digest, value=value)
-            )
+        entries: dict[int, tuple[str, Any]] = {}
+        for seq, (_, digest, value) in best.items():
+            entries[seq] = (digest, value)
             pending.pop(digest, None)
             max_seq = max(max_seq, seq)
+        # Fill the gaps: re-propose what we decided there, or a null
+        # request when no certificate for the sequence exists anywhere
+        # in the quorum (section 4.4's null-request rule).
+        for seq in range(max_seq + 1):
+            if seq in entries:
+                continue
+            value = (
+                self._decided_at[seq] if self.has_decided(seq) else NOOP
+            )
+            entries[seq] = (_digest(value), value)
+        preprepares = [
+            PrePrepare(view=new_view, seq=seq, digest=digest, value=value)
+            for seq, (digest, value) in sorted(entries.items())
+        ]
         self._next_seq = max_seq + 1
-        self._proposed_digests |= {p.digest for p in preprepares}
+        # Forget stale proposal records for sequences this new view
+        # reassigns to a different digest, then record the new ones.
+        for seq, (digest, _) in entries.items():
+            for old_digest, old_seq in list(self._seq_of.items()):
+                if old_seq == seq and old_digest != digest:
+                    del self._seq_of[old_digest]
+        for preprepare in preprepares:
+            self._seq_of[preprepare.digest] = preprepare.seq
         self.broadcast(NewView(new_view=new_view, preprepares=tuple(preprepares)),
                        targets=self.peers)
         for preprepare in preprepares:
@@ -401,7 +479,7 @@ class PbftReplica(ConsensusReplica):
             if not self.has_decided_value(digest):
                 self._requests.setdefault(digest, value)
                 self._propose(value)
-        self._arm_timer()
+        self._arm_timer(restart=True)  # new view entered: fresh timeout
 
     def has_decided_value(self, digest: str) -> bool:
         return digest in self._decided_digests()
@@ -417,7 +495,7 @@ class PbftReplica(ConsensusReplica):
         # Re-forward still-undecided requests to the new leader.
         for value in list(self._requests.values()):
             self.send(self._leader(), Request(value=value))
-        self._arm_timer()
+        self._arm_timer(restart=True)  # new view entered: fresh timeout
 
     def _enter_view(self, view: int) -> None:
         self.view = view

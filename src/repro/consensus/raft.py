@@ -149,7 +149,13 @@ class RaftReplica(ConsensusReplica):
     # -- client path -------------------------------------------------------
 
     def submit(self, value: Any) -> None:
-        self._requests[_digest(value)] = value
+        digest = _digest(value)
+        if digest in self._decided_at_digests():
+            # Duplicate of a committed request (client retry): retransmit
+            # so lagging followers learn of it, but don't reopen it.
+            self.broadcast(ClientRequest(value=value), targets=self.peers)
+            return
+        self._requests[digest] = value
         self.broadcast(ClientRequest(value=value), targets=self.peers)
         if self.role is Role.LEADER:
             self._leader_append(value)

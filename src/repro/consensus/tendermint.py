@@ -98,6 +98,10 @@ class TendermintReplica(ConsensusReplica):
         self._round_timer = None
         self._active = False
         self._future: list[tuple[str, Any]] = []
+        #: round -> senders seen at that round of the current height;
+        #: drives the round-skip rule (f+1 messages from a higher round
+        #: => jump to it).
+        self._round_peers: dict[int, set[str]] = {}
 
     # -- power accounting ----------------------------------------------------
 
@@ -125,7 +129,15 @@ class TendermintReplica(ConsensusReplica):
     # -- client path ------------------------------------------------------------
 
     def submit(self, value: Any) -> None:
-        self._requests[_digest(value)] = value
+        digest = _digest(value)
+        if digest in self._decided_value_digests():
+            # Duplicate of a decided request (client retry): retransmit
+            # so lagging validators learn of it, but don't reopen it —
+            # a stale entry in ``_requests`` would get re-proposed (and
+            # re-decided) at a fresh height.
+            self.broadcast(ClientRequest(value=value), targets=self.peers)
+            return
+        self._requests[digest] = value
         self.broadcast(ClientRequest(value=value), targets=self.peers)
         self._ensure_active()
 
@@ -151,12 +163,21 @@ class TendermintReplica(ConsensusReplica):
     def _start_round(self, round_: int) -> None:
         self.round = round_
         key = (self.height, round_)
+        self._round_peers = {
+            r: s for r, s in self._round_peers.items() if r > round_
+        }
         if self._round_timer is not None:
             self._round_timer.cancel()
         self._round_timer = self.set_timer(
             self._round_timeout(), self._on_round_timeout, label="round"
         )
         if self.proposer(self.height, round_) != self.node_id:
+            # If this round's proposal already arrived while we lagged
+            # behind (round skip), act on it now instead of waiting for
+            # a retransmission that will never come.
+            pending = self._proposals.get(key)
+            if pending is not None and key not in self._prevoted:
+                self._on_proposal(pending.proposer, pending)
             return
         if self.valid_value is not None:
             value, valid_round = self.valid_value, self.valid_round
@@ -209,11 +230,30 @@ class TendermintReplica(ConsensusReplica):
                 self._requests.setdefault(digest, message.value)
                 self._ensure_active()
         elif isinstance(message, TmProposal):
+            self._maybe_skip_round(message.height, message.round, message.proposer)
             self._on_proposal(src, message)
         elif isinstance(message, TmPrevote):
+            self._maybe_skip_round(message.height, message.round, message.sender)
             self._on_prevote(message)
         elif isinstance(message, TmPrecommit):
+            self._maybe_skip_round(message.height, message.round, message.sender)
             self._on_precommit(message)
+
+    def _maybe_skip_round(self, height: int, round_: int, sender: str) -> None:
+        """Round-skip rule (Tendermint arXiv:1807.04938, line 55): upon
+        f+1 messages (>1/3 voting power) from a round greater than ours,
+        jump straight to that round. Without it, validators whose round
+        timers drifted apart chase each other one timeout at a time and
+        can stay desynchronised forever — a liveness livelock the DST
+        fuzzer found (32 rounds of one height with no two validators in
+        the same round long enough to assemble a quorum)."""
+        if not self._active or height != self.height or round_ <= self.round:
+            return
+        senders = self._round_peers.setdefault(round_, set())
+        senders.add(sender)
+        power = sum(self.power_of(s) for s in senders)
+        if 3 * power > self.total_power:
+            self._start_round(round_)
 
     def _decided_value_digests(self) -> set[str]:
         return {_digest(v) for v in self._decided_at.values()}
@@ -329,6 +369,7 @@ class TendermintReplica(ConsensusReplica):
         self._precommits.clear()
         self._prevoted.clear()
         self._precommitted.clear()
+        self._round_peers.clear()
         self._ensure_active()
         buffered, self._future = self._future, []
         for src, message in buffered:

@@ -240,6 +240,15 @@ class BlockchainSystem:
         record.committed = False
         self.sim.metrics.incr(f"abort.{reason}")
 
+    def committed_tx_ids(self) -> set[str]:
+        """Ids of every transaction marked committed so far (the set the
+        ledger-linkage and serializability invariants audit)."""
+        return {
+            tx_id
+            for tx_id, record in self._records.items()
+            if record.committed
+        }
+
     # -- subclass hooks ---------------------------------------------------------------------
 
     def _ingest(self, record: _TxRecord) -> None:

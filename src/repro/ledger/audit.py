@@ -85,3 +85,34 @@ def verify_transaction_content(
 ) -> bool:
     """Bind a concrete transaction object to an inclusion proof."""
     return tx.digest() == proof.tx_digest
+
+
+def verify_ledger_linkage(
+    chain: Blockchain, committed_tx_ids: set[str] | None = None
+) -> list[str]:
+    """The hash-chain-linkage invariant, as a violation list.
+
+    Re-validates every link and payload of ``chain`` (heights, previous
+    hashes, Merkle roots) and — when ``committed_tx_ids`` is given —
+    that every committed transaction is actually on the ledger. This is
+    the ledger-side safety check the DST fuzzer runs after every
+    architecture-level fault run: a fault schedule may abort
+    transactions freely, but it must never leave a broken chain or a
+    commit that the ledger cannot prove.
+    """
+    violations: list[str] = []
+    try:
+        chain.verify_chain()
+    except LedgerError as error:
+        violations.append(f"ledger linkage: {error}")
+    heights = [block.height for block in chain]
+    if heights != list(range(len(heights))):
+        violations.append(f"ledger heights not contiguous: {heights}")
+    if committed_tx_ids:
+        on_ledger = {tx.tx_id for tx in chain.all_transactions()}
+        missing = sorted(committed_tx_ids - on_ledger)
+        if missing:
+            violations.append(
+                f"committed but not on the ledger: {', '.join(missing)}"
+            )
+    return violations

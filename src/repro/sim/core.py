@@ -121,6 +121,19 @@ class Simulation:
             self.events_per_second = processed / wall
         return processed
 
+    def step(self, limit: int = 1) -> int:
+        """Process at most ``limit`` events and return how many fired.
+
+        The step-limited run hook for deterministic simulation testing:
+        drivers that interleave invariant checks with execution (the DST
+        explorer, schedule-perturbation tests) advance the world one
+        event at a time instead of slicing on virtual time, which keeps
+        the interleaving points themselves deterministic.
+        """
+        if limit < 0:
+            raise ConfigError(f"step limit must be non-negative, got {limit}")
+        return self.run(max_events=limit) if limit else 0
+
     def stop(self) -> None:
         """Halt :meth:`run` after the current event finishes."""
         self._running = False

@@ -49,6 +49,13 @@ class Timer:
 #: (fired/cancelled timers are dropped; live protocols keep a handful).
 _TIMER_PRUNE_THRESHOLD = 32
 
+#: TEST-ONLY: re-introduce the historical "ghost timer" crash-semantics
+#: bug (crash neither cancels timers nor bumps the epoch, and recovery
+#: re-arms nothing). The DST acceptance suite flips this to prove the
+#: fuzzer finds and shrinks a real, previously-shipped bug; it must
+#: never be set outside tests/capsule replays.
+GHOST_TIMER_BUG = False
+
 
 class Node:
     """A process on the simulated network.
@@ -136,6 +143,8 @@ class Node:
         nothing armed before the crash can fire after :meth:`recover`.
         """
         self.crashed = True
+        if GHOST_TIMER_BUG:
+            return  # bug mode: pre-crash timers survive into recovery
         self._epoch += 1
         for timer in self._timers:
             timer.cancel()
@@ -150,6 +159,8 @@ class Node:
         if not self.crashed:
             return
         self.crashed = False
+        if GHOST_TIMER_BUG:
+            return  # bug mode: nothing re-armed, ghosts may still fire
         self.on_recover()
 
     def on_recover(self) -> None:

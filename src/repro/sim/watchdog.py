@@ -37,9 +37,10 @@ class StallDiagnostic:
     """Structured description of a liveness failure.
 
     ``reason`` is ``"no-progress"`` (nodes alive but frozen for longer
-    than the stall threshold) or ``"queue-exhausted"`` (the event queue
+    than the stall threshold), ``"queue-exhausted"`` (the event queue
     drained before the goal was met — nothing left that could ever make
-    progress).
+    progress), or ``"timeout"`` (the run deadline passed with the goal
+    unmet before the stall threshold tripped).
     """
 
     time: float
@@ -126,6 +127,12 @@ class LivenessWatchdog:
         """Build the diagnostic for an event queue that drained before
         the goal was met (call from the run driver)."""
         return self._diagnose("queue-exhausted", now, self._snapshot())
+
+    def timed_out(self, now: float) -> StallDiagnostic:
+        """Build the diagnostic for a run that hit its deadline with the
+        goal unmet but without a tripped stall window (call from the
+        run driver so timeouts are never silent)."""
+        return self._diagnose("timeout", now, self._snapshot())
 
     def _diagnose(
         self, reason: str, now: float, progress: dict[str, int]

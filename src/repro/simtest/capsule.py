@@ -1,0 +1,95 @@
+"""Repro capsules: a failing run, frozen as JSON, replayable forever.
+
+A capsule is everything :func:`~repro.simtest.scenarios.run_scenario`
+needs to reproduce a violation from nothing — scenario spec (target,
+protocol, size, seed, behaviour flags) plus the (usually shrunk) fault
+plan — together with what was observed when it was recorded and what a
+replay is *expected* to show:
+
+* ``expect: "violation"`` — a known bug: replay must re-trigger it
+  (used with behaviour flags that re-introduce fixed bugs, and by CI
+  artifacts attached to failing fuzz jobs).
+* ``expect: "clean"`` — a hardened schedule: replay must pass; any
+  future kernel/protocol change that re-breaks it fails tier-1
+  immediately via the checked-in capsules under ``tests/capsules/``.
+
+``python -m repro replay capsule.json`` drives this end to end.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.common.errors import ConfigError
+from repro.simtest.plan import PlanSpec
+from repro.simtest.scenarios import ScenarioResult, ScenarioSpec, run_scenario
+
+FORMAT = "repro-capsule/v1"
+
+
+def capsule_from(
+    scenario: ScenarioSpec,
+    plan: PlanSpec,
+    violations: list[str] | None = None,
+    expect: str = "violation",
+    notes: str = "",
+) -> dict[str, Any]:
+    """Build the JSON-ready capsule dict for one (scenario, plan)."""
+    if expect not in ("violation", "clean"):
+        raise ConfigError(f"capsule expect must be violation|clean: {expect!r}")
+    capsule: dict[str, Any] = {
+        "format": FORMAT,
+        "scenario": scenario.to_dict(),
+        "plan": plan.to_jsonable(),
+        "expect": expect,
+    }
+    if violations:
+        capsule["violations"] = list(violations)
+    if notes:
+        capsule["notes"] = notes
+    return capsule
+
+
+def save_capsule(path: str | Path, capsule: Mapping[str, Any]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(capsule, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_capsule(
+    source: str | Path | Mapping[str, Any],
+) -> tuple[ScenarioSpec, PlanSpec, dict[str, Any]]:
+    """Parse a capsule (path or dict) into its executable parts."""
+    if isinstance(source, (str, Path)):
+        data = json.loads(Path(source).read_text())
+    else:
+        data = dict(source)
+    if data.get("format") != FORMAT:
+        raise ConfigError(
+            f"not a repro capsule (format={data.get('format')!r})"
+        )
+    scenario = ScenarioSpec.from_dict(data["scenario"])
+    plan = PlanSpec.from_jsonable(data["plan"])
+    return scenario, plan, data
+
+
+def replay_capsule(
+    source: str | Path | Mapping[str, Any],
+) -> tuple[ScenarioResult, dict[str, Any]]:
+    """Re-run a capsule; returns (result, capsule dict).
+
+    Determinism makes this exact: the replayed run is the recorded run.
+    """
+    scenario, plan, data = load_capsule(source)
+    return run_scenario(scenario, plan), data
+
+
+def replay_matches_expectation(
+    result: ScenarioResult, capsule: Mapping[str, Any]
+) -> bool:
+    """Did the replay show what the capsule says it should?"""
+    if capsule.get("expect", "violation") == "clean":
+        return result.ok
+    return not result.ok

@@ -1,0 +1,327 @@
+"""One deterministic (scenario, fault plan) run, with invariants.
+
+A :class:`ScenarioSpec` describes everything needed to reproduce a run
+from nothing: the target (a bare consensus cluster or a full
+transaction-processing architecture), its size and protocol, the
+workload, the simulation seed, and any behaviour flags (e.g. the
+re-introduced ghost-timer bug). :func:`run_scenario` builds the world,
+compiles and injects the :class:`~repro.simtest.plan.PlanSpec`, drives
+the run under the registered safety monitors, and returns every
+invariant violation — which is the single predicate the explorer,
+fuzzer, and shrinker all search against.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.common.errors import ConfigError, ReproError
+from repro.common.types import Operation, OpType, Transaction
+from repro.consensus import PROTOCOLS, ConsensusCluster
+from repro.consensus.monitors import (
+    MONITOR_REGISTRY,
+    guarded_run_until_decided,
+    standard_monitors,
+)
+from repro.core import SYSTEMS, SystemConfig
+from repro.execution.serial import verify_serializable_commit
+from repro.ledger.audit import verify_ledger_linkage
+from repro.simtest.plan import PlanSpec
+
+#: Architectures the DST engine fuzzes (the base OX / OXII / XOV trio
+#: plus the XOV refinements that keep the serial-equivalence contract).
+FUZZABLE_ARCHITECTURES = ("ox", "oxii", "xov", "fastfabric", "fabricpp")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A reproducible system-under-test description.
+
+    ``target`` is ``"consensus"`` (a ``ConsensusCluster`` of
+    ``protocol``) or ``"system"`` (the ``architecture`` from
+    ``repro.core.SYSTEMS`` ordering through ``protocol``). Consensus
+    scenarios demand liveness by default — every within-budget schedule
+    must still decide; system scenarios only demand safety (XOV may
+    abort under contention, but must never commit conflicting writes).
+    """
+
+    target: str = "consensus"
+    protocol: str = "raft"
+    architecture: str = "xov"
+    n: int = 4
+    txs: int = 4
+    seed: int = 0
+    timeout: float = 60.0
+    stall_after: float = 5.0
+    #: Consensus submissions are staggered across [0, submit_span] so
+    #: fault windows overlap live protocol activity instead of landing
+    #: after a t=0 burst has already decided everything.
+    submit_span: float = 3.0
+    require_liveness: bool = True
+    flags: tuple[str, ...] = ()
+    invariants: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.target not in ("consensus", "system"):
+            raise ConfigError(f"unknown scenario target {self.target!r}")
+        if self.protocol not in PROTOCOLS:
+            raise ConfigError(f"unknown protocol {self.protocol!r}")
+        if self.target == "system" and self.architecture not in SYSTEMS:
+            raise ConfigError(f"unknown architecture {self.architecture!r}")
+        unknown = [
+            name for name in self.invariants if name not in MONITOR_REGISTRY
+        ]
+        if unknown:
+            raise ConfigError(
+                f"unknown invariants {unknown}; "
+                f"registered: {sorted(MONITOR_REGISTRY)}"
+            )
+
+    @property
+    def byzantine(self) -> bool:
+        return PROTOCOLS[self.protocol][1]
+
+    @property
+    def cluster_n(self) -> int:
+        """Actual cluster size (fault-model minimums enforced)."""
+        return max(self.n, 4 if self.byzantine else 3)
+
+    @property
+    def replica_ids(self) -> tuple[str, ...]:
+        return tuple(f"r{i}" for i in range(self.cluster_n))
+
+    @property
+    def fault_budget(self) -> int:
+        """Max simultaneous crashes a within-budget plan may hold."""
+        n = self.cluster_n
+        return (n - 1) // 3 if self.byzantine else (n - 1) // 2
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "target": self.target,
+            "protocol": self.protocol,
+            "n": self.n,
+            "txs": self.txs,
+            "seed": self.seed,
+            "timeout": self.timeout,
+            "stall_after": self.stall_after,
+            "submit_span": self.submit_span,
+            "require_liveness": self.require_liveness,
+        }
+        if self.target == "system":
+            out["architecture"] = self.architecture
+        if self.flags:
+            out["flags"] = list(self.flags)
+        if self.invariants:
+            out["invariants"] = list(self.invariants)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        return cls(
+            target=data.get("target", "consensus"),
+            protocol=data.get("protocol", "raft"),
+            architecture=data.get("architecture", "xov"),
+            n=int(data.get("n", 4)),
+            txs=int(data.get("txs", 4)),
+            seed=int(data.get("seed", 0)),
+            timeout=float(data.get("timeout", 60.0)),
+            stall_after=float(data.get("stall_after", 5.0)),
+            submit_span=float(data.get("submit_span", 3.0)),
+            require_liveness=bool(data.get("require_liveness", True)),
+            flags=tuple(data.get("flags", ())),
+            invariants=tuple(data.get("invariants", ())),
+        )
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        return replace(self, seed=seed)
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one (scenario, plan) run."""
+
+    decided: bool
+    violations: list[str] = field(default_factory=list)
+    diagnostic: str | None = None
+    committed: int = 0
+    aborted: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@contextlib.contextmanager
+def _behaviour_flags(flags: tuple[str, ...]):
+    """Toggle named behaviour flags for the duration of one run."""
+    import repro.sim.node as node_module
+
+    known = {"ghost-timers"}
+    unknown = set(flags) - known
+    if unknown:
+        raise ConfigError(f"unknown behaviour flags {sorted(unknown)}")
+    previous = node_module.GHOST_TIMER_BUG
+    node_module.GHOST_TIMER_BUG = "ghost-timers" in flags
+    try:
+        yield
+    finally:
+        node_module.GHOST_TIMER_BUG = previous
+
+
+def _make_monitors(scenario: ScenarioSpec):
+    if scenario.invariants:
+        return [MONITOR_REGISTRY[name]() for name in scenario.invariants]
+    return standard_monitors()
+
+
+def run_scenario(
+    scenario: ScenarioSpec, plan: PlanSpec | None = None
+) -> ScenarioResult:
+    """Build the scenario's world, inject ``plan``, run, audit.
+
+    Same (scenario, plan) in, same :class:`ScenarioResult` out —
+    bit-for-bit, which is the property the shrinker and the capsule
+    replay rely on.
+    """
+    plan = plan or PlanSpec()
+    with _behaviour_flags(scenario.flags):
+        if scenario.target == "consensus":
+            return _run_consensus(scenario, plan)
+        return _run_system(scenario, plan)
+
+
+def _run_consensus(scenario: ScenarioSpec, plan: PlanSpec) -> ScenarioResult:
+    cls, byzantine = PROTOCOLS[scenario.protocol]
+    cluster = ConsensusCluster(
+        cls, n=scenario.cluster_n, byzantine=byzantine, seed=scenario.seed
+    )
+    monitors = _make_monitors(scenario)
+    for monitor in monitors:
+        cluster.add_monitor(monitor)
+    plan.build().apply_to_cluster(cluster)
+    # Submissions are staggered across the fault horizon and retried
+    # PBFT-client-style (retransmit until every live correct replica
+    # holds the decision) — a fire-and-forget submit can vanish into a
+    # partition window through no fault of the protocol. The submitter
+    # replica is never a crash victim (see random_plan/default_axes):
+    # submitting through a crashed node measures the client, not the
+    # cluster.
+    submitter = scenario.replica_ids[-1]
+    retry_every = 0.75
+
+    def submit_with_retry(value: str) -> None:
+        live = [r for r in cluster.correct_replicas() if not r.crashed]
+        if live and all(value in r.decided for r in live):
+            return
+        cluster.replicas[submitter].submit(value)
+        cluster.sim.schedule(retry_every, submit_with_retry, value)
+
+    span = scenario.submit_span
+    step = span / scenario.txs if scenario.txs else 0.0
+    for i in range(scenario.txs):
+        cluster.sim.schedule_at(
+            round(i * step, 6), submit_with_retry, f"{scenario.protocol}-{i}"
+        )
+    outcome = guarded_run_until_decided(
+        cluster,
+        scenario.txs,
+        timeout=scenario.timeout,
+        stall_after=scenario.stall_after,
+    )
+    violations = list(outcome.violations)
+    if not cluster.agreement_holds():
+        violations.append("safety: decided logs are not prefix-consistent")
+    diagnostic = (
+        outcome.diagnostic.summary() if outcome.diagnostic is not None else None
+    )
+    if scenario.require_liveness and not outcome.decided:
+        # Surface the structured stall diagnostic in the failure payload
+        # itself — a bare "did not decide" is undebuggable.
+        violations.append(
+            "liveness: goal not reached\n" + (diagnostic or "(no diagnostic)")
+        )
+    return ScenarioResult(
+        decided=outcome.decided,
+        violations=violations,
+        diagnostic=diagnostic,
+        committed=min(len(r.decided) for r in cluster.correct_replicas())
+        if cluster.correct_replicas()
+        else 0,
+    )
+
+
+def _make_workload(scenario: ScenarioSpec) -> list[Transaction]:
+    """A contended KV workload: blind writes and read-modify-writes over
+    a small hot key space, so XOV-family validation has real conflicts
+    to catch (and the serializability audit real work to do)."""
+    import random
+
+    rng = random.Random(scenario.seed + 0x5EED)
+    txs: list[Transaction] = []
+    keys = [f"k{i}" for i in range(max(4, scenario.txs // 4))]
+    for i in range(scenario.txs):
+        key = rng.choice(keys)
+        if rng.random() < 0.5:
+            txs.append(Transaction.create(
+                "kv_set", (key, i),
+                declared_ops=(Operation(OpType.WRITE, key),),
+            ))
+        else:
+            txs.append(Transaction.create(
+                "increment", (key, 1),
+                declared_ops=(Operation(OpType.READ_WRITE, key),),
+            ))
+    return txs
+
+
+def _run_system(scenario: ScenarioSpec, plan: PlanSpec) -> ScenarioResult:
+    system_cls = SYSTEMS[scenario.architecture]
+    system = system_cls(
+        SystemConfig(
+            orderers=scenario.cluster_n,
+            protocol=scenario.protocol,
+            block_size=max(2, scenario.txs // 4),
+            seed=scenario.seed,
+            max_time=scenario.timeout,
+        )
+    )
+    monitors = _make_monitors(scenario)
+    for monitor in monitors:
+        system.cluster.add_monitor(monitor)
+    plan.build().apply(system.sim, system.cluster.network)
+    for tx in _make_workload(scenario):
+        system.submit(tx)
+    result = system.run()
+    violations: list[str] = []
+    for monitor in monitors:
+        monitor.check()
+        violations.extend(monitor.violations)
+    committed = system.committed_tx_ids()
+    violations.extend(verify_ledger_linkage(system.ledger, committed))
+    violations.extend(
+        verify_serializable_commit(
+            system.ledger, system.store, system.registry, committed
+        )
+    )
+    return ScenarioResult(
+        decided=True,
+        violations=violations,
+        committed=result.committed,
+        aborted=result.aborted,
+    )
+
+
+def violates(scenario: ScenarioSpec, plan: PlanSpec) -> bool:
+    """The search predicate: does ``plan`` break any invariant?
+
+    Plans that fail to *build* (e.g. a shrink probe collapsed a window
+    to zero width) count as non-violating rather than erroring — the
+    shrinker simply keeps the last plan that really reproduces.
+    """
+    try:
+        return bool(run_scenario(scenario, plan).violations)
+    except (ConfigError, ReproError):
+        return False

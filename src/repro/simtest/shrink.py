@@ -1,0 +1,118 @@
+"""Fault-plan shrinking: exact delta debugging over deterministic runs.
+
+Because a (scenario, plan) run is bit-for-bit reproducible, shrinking
+is a pure search problem with a perfectly reliable oracle — no flaky
+re-runs, no probabilistic "it usually still fails". The shrinker:
+
+1. **Drops faults** one at a time to a fixpoint (greedy ddmin): any
+   fault whose removal still reproduces the violation is gone for good.
+2. **Bisects times** toward zero for each surviving fault (and window
+   ends toward their starts), so the minimal capsule also carries the
+   *simplest* timestamps that still trigger the bug.
+
+The oracle is any ``reproduces(plan) -> bool`` callable; results are
+memoized on the plan's identity, so re-probing a candidate the search
+already visited costs nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.simtest.plan import PlanSpec
+
+#: Binary-search iterations per timestamp; 2^-8 of the original range is
+#: well below the simulator's meaningful time resolution.
+_BISECT_ROUNDS = 8
+
+
+def shrink_plan(
+    plan: PlanSpec,
+    reproduces: Callable[[PlanSpec], bool],
+    bisect_times: bool = True,
+) -> PlanSpec:
+    """Shrink ``plan`` to a minimal schedule that still ``reproduces``.
+
+    Returns the smallest plan found (never larger than the input). The
+    result is guaranteed to reproduce: every accepted mutation was
+    verified by the oracle, and the input itself is verified first — a
+    plan that does not reproduce at all is returned unchanged.
+    """
+    cache: dict[tuple, bool] = {}
+
+    def check(candidate: PlanSpec) -> bool:
+        key = candidate.key()
+        if key not in cache:
+            cache[key] = bool(reproduces(candidate))
+        return cache[key]
+
+    if not check(plan):
+        return plan
+
+    current = _drop_faults(plan, check)
+    if bisect_times:
+        current = _bisect_times(current, check)
+        # Time changes can unlock further removals (a crash that only
+        # mattered relative to a now-moved window), so drop once more.
+        current = _drop_faults(current, check)
+    return current
+
+
+def _drop_faults(plan: PlanSpec, check) -> PlanSpec:
+    changed = True
+    current = plan
+    while changed and len(current) > 1:
+        changed = False
+        for index in range(len(current)):
+            candidate = current.without(index)
+            if check(candidate):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+def _bisect_times(plan: PlanSpec, check) -> PlanSpec:
+    current = plan
+    for index in range(len(current)):
+        current = _minimise_start(current, index, check)
+        if current.faults[index].end is not None:
+            current = _minimise_end(current, index, check)
+    return current
+
+
+def _minimise_start(plan: PlanSpec, index: int, check) -> PlanSpec:
+    """Binary-search the earliest start time that still reproduces."""
+    fault = plan.faults[index]
+    low, high = 0.0, fault.time  # invariant: `high` reproduces
+    candidate = plan.with_fault(index, fault.shifted(0.0))
+    if check(candidate):
+        return candidate
+    best = plan
+    for _ in range(_BISECT_ROUNDS):
+        mid = (low + high) / 2.0
+        candidate = plan.with_fault(index, fault.shifted(mid))
+        if check(candidate):
+            high = mid
+            best = candidate
+        else:
+            low = mid
+    return best
+
+
+def _minimise_end(plan: PlanSpec, index: int, check) -> PlanSpec:
+    """Binary-search the earliest window end that still reproduces."""
+    fault = plan.faults[index]
+    low, high = fault.time, fault.end
+    best = plan
+    for _ in range(_BISECT_ROUNDS):
+        mid = (low + high) / 2.0
+        candidate = plan.with_fault(
+            index, fault.shifted(fault.time, end=mid)
+        )
+        if check(candidate):
+            high = mid
+            best = candidate
+        else:
+            low = mid
+    return best

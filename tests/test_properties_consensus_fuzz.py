@@ -1,105 +1,138 @@
-"""Property-based consensus fuzzing: random crash schedules never break
-safety, and within-budget schedules never break liveness.
+"""Property-based consensus fuzzing, routed through the DST engine.
 
-These are the invariants all of section 2.2 rests on; hypothesis drives
-crash timing, victim choice, and seeds through the deterministic
-simulator, shrinking any counterexample to a minimal schedule.
+Hypothesis supplies the schedule parameters (victims, fault windows,
+seeds); :func:`repro.simtest.assert_plan_holds` supplies deterministic
+execution under the registered safety monitors plus *fault-level*
+shrinking — a failing example is reduced to a minimal fault plan and
+reported as a JSON repro capsule that ``python -m repro replay`` can
+re-run, independently of hypothesis's own input shrinking.
+
+The invariants all of section 2.2 rests on, now checked for every one
+of the six protocols: within-budget schedules never break liveness, and
+no schedule — within budget or not — ever breaks safety.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.consensus import ConsensusCluster
-from repro.consensus.pbft import PbftReplica
-from repro.consensus.raft import RaftReplica
-from repro.sim.faults import CrashSchedule
+from repro.consensus import PROTOCOLS
+from repro.simtest import (
+    FaultSpec,
+    PlanSpec,
+    assert_plan_holds,
+    random_plan,
+    run_scenario,
+)
+from repro.simtest.scenarios import ScenarioSpec
+
+#: Byzantine protocols need n=4 for f=1; CFT protocols run at n=4 too
+#: (f=1), so one schedule vocabulary covers all six.
+ALL_PROTOCOLS = sorted(PROTOCOLS)
+
+seeds = st.integers(min_value=0, max_value=2**16)
 
 
+def _scenario(protocol: str, seed: int, **overrides) -> ScenarioSpec:
+    return ScenarioSpec(protocol=protocol, n=4, txs=4, seed=seed, **overrides)
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
 @given(
-    victim=st.integers(min_value=0, max_value=3),
+    victim=st.integers(min_value=0, max_value=2),
     crash_time=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
-    seed=st.integers(min_value=0, max_value=2**16),
+    recover_after=st.floats(min_value=0.3, max_value=2.0, allow_nan=False),
+    seed=seeds,
 )
-@settings(max_examples=12, deadline=None)
-def test_pbft_single_crash_any_time_keeps_safety_and_liveness(
-    victim, crash_time, seed
+@settings(max_examples=6, deadline=None)
+def test_single_crash_any_time_keeps_safety_and_liveness(
+    protocol, victim, crash_time, recover_after, seed
 ):
-    """n=4 PBFT tolerates one crash whenever it happens."""
-    cluster = ConsensusCluster(PbftReplica, n=4, seed=seed)
-    schedule = CrashSchedule().crash_at(max(crash_time, 1e-9), f"r{victim}")
-    schedule.apply(cluster.sim, cluster.replicas)
-    submitter = f"r{(victim + 1) % 4}"
-    for i in range(4):
-        cluster.submit(f"v{i}", via=submitter)
-    done = cluster.run_until_decided(4, timeout=180)
-    assert cluster.agreement_holds()
-    assert done, "one crash is within PBFT's fault budget"
+    """n=4 tolerates one crash whenever it happens, for all six
+    protocols — and the crashed replica may come back mid-run."""
+    at = round(max(crash_time, 1e-4), 4)
+    plan = PlanSpec((
+        FaultSpec(kind="crash", time=at, node=f"r{victim}"),
+        FaultSpec(
+            kind="recover", time=round(at + recover_after, 4),
+            node=f"r{victim}",
+        ),
+    ))
+    assert_plan_holds(_scenario(protocol, seed), plan)
 
 
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
 @given(
-    victims=st.sets(st.integers(min_value=0, max_value=4), min_size=2,
-                    max_size=2),
-    crash_times=st.tuples(
-        st.floats(min_value=0.01, max_value=1.5, allow_nan=False),
-        st.floats(min_value=0.01, max_value=1.5, allow_nan=False),
-    ),
-    seed=st.integers(min_value=0, max_value=2**16),
+    start=st.floats(min_value=0.0, max_value=1.5, allow_nan=False),
+    width=st.floats(min_value=0.3, max_value=2.0, allow_nan=False),
+    lonely=st.integers(min_value=0, max_value=3),
+    seed=seeds,
 )
-@settings(max_examples=10, deadline=None)
-def test_raft_double_crash_within_budget(victims, crash_times, seed):
-    """n=5 Raft tolerates two crashes at arbitrary moments."""
-    cluster = ConsensusCluster(RaftReplica, n=5, byzantine=False, seed=seed)
-    schedule = CrashSchedule()
-    for victim, when in zip(sorted(victims), crash_times):
-        schedule.crash_at(when, f"r{victim}")
-    schedule.apply(cluster.sim, cluster.replicas)
-    submitter = f"r{next(i for i in range(5) if i not in victims)}"
-    for i in range(3):
-        cluster.submit(f"v{i}", via=submitter)
-    done = cluster.run_until_decided(3, timeout=180)
-    assert cluster.agreement_holds()
-    assert done
+@settings(max_examples=6, deadline=None)
+def test_partition_window_heals_and_run_decides(
+    protocol, start, width, lonely, seed
+):
+    """Any minority partition that heals leaves liveness intact."""
+    members = [f"r{i}" for i in range(4)]
+    alone = members.pop(lonely)
+    plan = PlanSpec((
+        FaultSpec(
+            kind="partition",
+            time=round(start, 4),
+            end=round(start + width, 4),
+            groups=(tuple(members), (alone,)),
+        ),
+    ))
+    assert_plan_holds(_scenario(protocol, seed), plan)
 
 
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
 @given(
-    extra_victim=st.integers(min_value=0, max_value=3),
-    seed=st.integers(min_value=0, max_value=2**16),
+    probability=st.floats(min_value=0.05, max_value=0.25, allow_nan=False),
+    width=st.floats(min_value=0.5, max_value=2.5, allow_nan=False),
+    seed=seeds,
 )
+@settings(max_examples=6, deadline=None)
+def test_lossy_window_degrades_but_never_wedges(
+    protocol, probability, width, seed
+):
+    """Bounded random message loss: retransmission paths must recover."""
+    plan = PlanSpec((
+        FaultSpec(
+            kind="drop", time=0.0, end=round(width, 4),
+            probability=round(probability, 4),
+        ),
+    ))
+    assert_plan_holds(_scenario(protocol, seed), plan)
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+@given(seed=seeds, plan_seed=seeds)
 @settings(max_examples=8, deadline=None)
-def test_pbft_beyond_budget_stalls_but_never_forks(extra_victim, seed):
-    """Two crashes at n=4 exceed f=1: progress may stop, but the logs of
-    the survivors must never diverge — safety is unconditional."""
-    cluster = ConsensusCluster(PbftReplica, n=4, seed=seed)
-    first = extra_victim
-    second = (extra_victim + 1) % 4
-    cluster.replicas[f"r{first}"].crash()
-    cluster.replicas[f"r{second}"].crash()
-    alive = next(
-        i for i in range(4) if i not in (first, second)
+def test_random_within_budget_plan_holds(protocol, seed, plan_seed):
+    """The fuzzer's own plan generator, driven by hypothesis seeds: any
+    within-budget composition of crashes, one partition, and message
+    faults keeps both safety and liveness."""
+    import random
+
+    scenario = _scenario(protocol, seed)
+    plan = random_plan(scenario, random.Random(plan_seed))
+    assert_plan_holds(scenario, plan)
+
+
+@pytest.mark.parametrize("protocol", ALL_PROTOCOLS)
+@given(seed=seeds)
+@settings(max_examples=4, deadline=None)
+def test_beyond_budget_stalls_but_never_forks(protocol, seed):
+    """Two crashes at n=4 exceed every protocol's budget: progress may
+    stop, but safety is unconditional — the survivors' logs must never
+    diverge. Liveness is explicitly waived for this scenario."""
+    scenario = _scenario(
+        protocol, seed, require_liveness=False, timeout=8.0,
     )
-    cluster.submit("doomed", via=f"r{alive}")
-    cluster.run_until_decided(1, timeout=6)
-    assert cluster.agreement_holds()
-
-
-@given(
-    heal_after=st.floats(min_value=1.0, max_value=5.0, allow_nan=False),
-    seed=st.integers(min_value=0, max_value=2**16),
-)
-@settings(max_examples=8, deadline=None)
-def test_raft_partition_heal_converges(heal_after, seed):
-    """Any partition followed by a heal converges to one log."""
-    cluster = ConsensusCluster(RaftReplica, n=3, byzantine=False, seed=seed)
-    cluster.submit("before")
-    assert cluster.run_until_decided(1, timeout=60)
-    cluster.network.partition([["r0"], ["r1", "r2"]])
-    cluster.submit("during", via="r1")
-    cluster.sim.run(until=cluster.sim.now + heal_after)
-    cluster.network.heal()
-    assert cluster.run_until_decided(2, timeout=180)
-    logs = [tuple(r.decided[:2]) for r in cluster.replicas.values()]
-    deadline = cluster.sim.now + 60
-    while len(set(logs)) != 1 and cluster.sim.now < deadline:
-        cluster.sim.run(until=cluster.sim.now + 0.5)
-        logs = [tuple(r.decided[:2]) for r in cluster.replicas.values()]
-    assert len(set(logs)) == 1
+    plan = PlanSpec((
+        FaultSpec(kind="crash", time=0.2, node="r0"),
+        FaultSpec(kind="crash", time=0.4, node="r1"),
+    ))
+    result = run_scenario(scenario, plan)
+    assert not result.violations, result.violations

@@ -1,0 +1,51 @@
+"""Checked-in repro capsules: every schedule the fuzzer ever broke the
+protocols with, replayed on every test run.
+
+``expect: clean`` capsules are hardened schedules — each one reproduced
+a real liveness bug before its fix (see the ``notes`` field inside each
+file); a regression re-breaks the replay and fails here with the
+capsule's own diagnostic. The ``expect: violation`` capsule pins the
+*fuzzer's* power instead: the re-introduced ghost-timer kernel bug must
+keep being detectable.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.simtest import (
+    load_capsule,
+    replay_capsule,
+    replay_matches_expectation,
+)
+
+CAPSULE_DIR = Path(__file__).parent / "capsules"
+CAPSULE_PATHS = sorted(CAPSULE_DIR.glob("*.json"))
+
+
+def test_capsule_corpus_is_present():
+    assert len(CAPSULE_PATHS) >= 4, "capsule corpus went missing"
+
+
+@pytest.mark.parametrize(
+    "path", CAPSULE_PATHS, ids=lambda p: p.stem
+)
+def test_capsule_replays_to_expectation(path):
+    result, capsule = replay_capsule(path)
+    assert replay_matches_expectation(result, capsule), (
+        f"capsule {path.name} expected {capsule.get('expect')!r} but "
+        f"replay gave ok={result.ok}\n"
+        + "\n".join(result.violations)
+        + ("\n\nnotes: " + capsule.get("notes", "") if capsule.get("notes") else "")
+    )
+
+
+@pytest.mark.parametrize(
+    "path", CAPSULE_PATHS, ids=lambda p: p.stem
+)
+def test_capsule_roundtrips_through_loader(path):
+    scenario, plan, data = load_capsule(path)
+    assert data["format"] == "repro-capsule/v1"
+    assert scenario.to_dict() == data["scenario"]
+    assert plan.to_jsonable() == data["plan"]
+    assert len(plan) >= 1

@@ -1,0 +1,137 @@
+"""Shrinker correctness: exact delta debugging over a reliable oracle.
+
+These tests drive :func:`repro.simtest.shrink.shrink_plan` with synthetic
+predicates (pure functions of the plan) so minimality claims can be
+checked exactly, plus one end-to-end shrink against a real simulated
+violation (the re-introduced ghost-timer kernel bug)."""
+
+from repro.simtest import FaultSpec, PlanSpec, shrink_plan
+from repro.simtest.scenarios import ScenarioSpec, violates
+
+
+def crash(time, node="r0"):
+    return FaultSpec(kind="crash", time=time, node=node)
+
+
+def drop(time, end, probability=0.2):
+    return FaultSpec(kind="drop", time=time, end=end, probability=probability)
+
+
+BIG_PLAN = PlanSpec((
+    crash(0.5, "r0"),
+    crash(1.0, "r1"),
+    drop(0.3, 2.0),
+    FaultSpec(kind="delay", time=0.2, end=3.0, extra=0.02),
+    FaultSpec(kind="recover", time=2.5, node="r0"),
+))
+
+
+class TestDropFaults:
+    def test_irrelevant_faults_are_dropped(self):
+        # Oracle: fails iff the plan crashes r1 — everything else must go.
+        def oracle(plan):
+            return any(
+                f.kind == "crash" and f.node == "r1" for f in plan.faults
+            )
+
+        shrunk = shrink_plan(BIG_PLAN, oracle, bisect_times=False)
+        assert len(shrunk) == 1
+        assert shrunk.faults[0].kind == "crash"
+        assert shrunk.faults[0].node == "r1"
+
+    def test_conjunction_keeps_both_required_faults(self):
+        # Oracle: fails only when BOTH the r0 crash and the drop window
+        # survive — greedy ddmin must keep exactly that pair.
+        def oracle(plan):
+            kinds = {(f.kind, f.node) for f in plan.faults}
+            return ("crash", "r0") in kinds and ("drop", None) in kinds
+
+        shrunk = shrink_plan(BIG_PLAN, oracle, bisect_times=False)
+        assert len(shrunk) == 2
+        assert {f.kind for f in shrunk.faults} == {"crash", "drop"}
+
+    def test_non_reproducing_plan_returned_unchanged(self):
+        shrunk = shrink_plan(BIG_PLAN, lambda plan: False)
+        assert shrunk == BIG_PLAN
+
+    def test_result_always_reproduces(self):
+        # Whatever the oracle shape, the returned plan satisfies it.
+        def oracle(plan):
+            return len(plan) >= 2
+
+        shrunk = shrink_plan(BIG_PLAN, oracle, bisect_times=False)
+        assert oracle(shrunk)
+        assert len(shrunk) == 2
+
+
+class TestBisectTimes:
+    def test_times_bisect_toward_zero(self):
+        # Oracle is time-independent, so every timestamp should collapse
+        # to the 0.0 probe accepted on the first bisection attempt.
+        def oracle(plan):
+            return any(f.kind == "crash" for f in plan.faults)
+
+        shrunk = shrink_plan(PlanSpec((crash(1.7, "r0"),)), oracle)
+        assert shrunk.faults[0].time == 0.0
+
+    def test_time_threshold_is_respected(self):
+        # Oracle: reproduces only while the crash is at t >= 1.0. The
+        # bisection must stop just above the threshold, never below.
+        def oracle(plan):
+            return all(
+                f.time >= 1.0 for f in plan.faults if f.kind == "crash"
+            ) and len(plan) > 0
+
+        shrunk = shrink_plan(PlanSpec((crash(1.8, "r0"),)), oracle)
+        assert 1.0 <= shrunk.faults[0].time < 1.8
+
+    def test_window_end_shrinks_toward_start(self):
+        def oracle(plan):
+            return any(f.kind == "drop" for f in plan.faults)
+
+        shrunk = shrink_plan(PlanSpec((drop(0.5, 4.0),)), oracle)
+        fault = shrunk.faults[0]
+        assert fault.time == 0.0
+        assert fault.end is not None and fault.end < 1.0
+
+    def test_shrinking_is_deterministic(self):
+        def oracle(plan):
+            return any(f.kind == "crash" and f.node == "r1"
+                       for f in plan.faults)
+
+        first = shrink_plan(BIG_PLAN, oracle)
+        second = shrink_plan(BIG_PLAN, oracle)
+        assert first == second
+
+    def test_oracle_probes_are_memoized(self):
+        calls = []
+
+        def oracle(plan):
+            calls.append(plan.key())
+            return True
+
+        shrink_plan(PlanSpec((crash(0.9, "r0"), crash(1.1, "r1"))), oracle)
+        assert len(calls) == len(set(calls)), "duplicate probe re-ran"
+
+
+class TestEndToEndShrink:
+    def test_ghost_timer_violation_shrinks_to_crash_recover_pair(self):
+        # A real simulated oracle: under the re-introduced ghost-timer
+        # kernel bug, a recovering replica's stale pre-crash timers fire
+        # and wedge it. Start from a noisy 4-fault plan; the pair that
+        # matters is the crash + recover of one replica.
+        scenario = ScenarioSpec(
+            protocol="pbft", n=4, txs=4, seed=442620898,
+            flags=("ghost-timers",),
+        )
+        noisy = PlanSpec((
+            crash(0.0, "r2"),
+            FaultSpec(kind="recover", time=1.0007, node="r2"),
+            FaultSpec(kind="delay", time=0.2, end=2.0, extra=0.01),
+            drop(2.5, 3.0, probability=0.05),
+        ))
+        assert violates(scenario, noisy), "seed chosen to reproduce"
+        shrunk = shrink_plan(noisy, lambda p: violates(scenario, p))
+        assert len(shrunk) <= 2
+        assert {f.kind for f in shrunk.faults} == {"crash", "recover"}
+        assert violates(scenario, shrunk)

@@ -74,6 +74,24 @@ class TestLivenessWatchdog:
         assert outcome.diagnostic is not None
         assert outcome.diagnostic.reason == "no-progress"
 
+    def test_timeout_yields_structured_diagnostic(self):
+        # A quorum-less run with a timeout *shorter* than the stall
+        # threshold: the stall window never trips between slices, so the
+        # run exits via the deadline — which must still surface a
+        # structured "timeout" diagnostic, not a silent bare False.
+        cluster = ConsensusCluster(PbftReplica, n=4, seed=45)
+        FaultPlan().crash(0.0, "r2", "r3").apply_to_cluster(cluster)
+        cluster.submit("v0", via="r0")
+        outcome = guarded_run_until_decided(
+            cluster, 1, timeout=1.0, stall_after=50.0
+        )
+        assert not outcome.decided
+        diagnostic = outcome.diagnostic
+        assert diagnostic is not None
+        assert diagnostic.reason == "timeout"
+        assert diagnostic.crashed_nodes == ["r2", "r3"]
+        assert "timeout" in diagnostic.summary()
+
     def test_healthy_run_has_no_diagnostic(self):
         cluster = ConsensusCluster(RaftReplica, n=3, byzantine=False, seed=44)
         for i in range(3):
