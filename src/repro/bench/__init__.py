@@ -10,7 +10,12 @@ from repro.bench.harness import (
     sweep,
     sweep_parallel,
 )
-from repro.bench.profiling import profiled, top_hotspots
+from repro.bench.profiling import (
+    hotpath_counters,
+    profiled,
+    reset_hotpath_counters,
+    top_hotspots,
+)
 from repro.bench.reporting import format_table, print_table
 
 __all__ = [
@@ -19,8 +24,10 @@ __all__ = [
     "compare_systems_parallel",
     "env_workers",
     "format_table",
+    "hotpath_counters",
     "print_table",
     "profiled",
+    "reset_hotpath_counters",
     "run_architecture",
     "sweep",
     "sweep_parallel",

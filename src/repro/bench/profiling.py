@@ -8,6 +8,9 @@ Two layers of instrumentation:
   updates after :meth:`~repro.sim.core.Simulation.run` (attributes
   ``events_per_second``, ``events_processed``,
   ``last_run_wall_seconds``) — cheap enough to stay always-on.
+* :func:`hotpath_counters` — one dict with the protocol hot-path
+  counters (state-store snapshot/copy/merge work, Merkle nodes hashed
+  vs. cached), for per-subsystem attribution in benchmark reports.
 
 Usage::
 
@@ -80,3 +83,29 @@ def top_hotspots(
             }
         )
     return rows
+
+
+def hotpath_counters() -> dict[str, int]:
+    """Current hot-path counters across subsystems, flattened as
+    ``store.*`` and ``merkle.*`` keys.
+
+    ``store.snapshot_entries_copied`` stays 0 for the copy-on-write
+    store (only the eager baseline copies on snapshot) — benchmarks
+    assert on exactly that to prove snapshots are O(1) in state size.
+    """
+    from repro.crypto.merkle import MERKLE_COUNTERS
+    from repro.ledger.store import STORE_COUNTERS
+
+    counters = {f"store.{k}": v for k, v in STORE_COUNTERS.items()}
+    counters.update({f"merkle.{k}": v for k, v in MERKLE_COUNTERS.items()})
+    return counters
+
+
+def reset_hotpath_counters() -> None:
+    """Zero the hot-path counters (and the Merkle caches) so a benchmark
+    cell measures only its own work."""
+    from repro.crypto.merkle import reset_merkle_caches
+    from repro.ledger.store import reset_store_counters
+
+    reset_store_counters()
+    reset_merkle_caches()

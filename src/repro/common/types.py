@@ -131,9 +131,19 @@ class Transaction:
         return bool(self.write_keys & theirs) or bool(other.write_keys & mine)
 
     def digest(self) -> str:
-        """Stable content digest used inside block Merkle trees."""
+        """Stable content digest used inside block Merkle trees.
+
+        Memoized per instance: a transaction is digested when its block
+        is assembled, again when the block is validated on append, and
+        once more per audit — the bytes never change, so hash once.
+        """
+        cached = getattr(self, "_digest_memo", None)
+        if cached is not None:
+            return cached
         material = f"{self.tx_id}|{self.contract}|{self.args!r}|{self.submitter}"
-        return hashlib.sha256(material.encode()).hexdigest()
+        digest = hashlib.sha256(material.encode()).hexdigest()
+        object.__setattr__(self, "_digest_memo", digest)
+        return digest
 
 
 @dataclass(frozen=True)

@@ -295,6 +295,12 @@ class HotStuffReplica(ConsensusReplica):
             return
         if len(node.justify.signers) < self._qc_quorum():
             return
+        # Check the QC's vote signatures; votes already verified in an
+        # earlier certificate (chained QCs re-carry them) are cache hits.
+        self._note_certificate(
+            node.justify.signers,
+            f"{node.justify.view}:{node.justify.node_digest}",
+        )
         digest = node.digest()
         self._nodes.setdefault(digest, node)
         if node.value is not None:
@@ -468,6 +474,10 @@ class HotStuffReplica(ConsensusReplica):
         self._arm_view_timer()
 
     def _on_new_view(self, message: NewView) -> None:
+        self._note_certificate(
+            message.high_qc.signers,
+            f"{message.high_qc.view}:{message.high_qc.node_digest}",
+        )
         if message.high_qc.view > self.high_qc.view:
             self.high_qc = message.high_qc
         votes = self._newviews.setdefault(message.view, {})

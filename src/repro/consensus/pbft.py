@@ -305,6 +305,12 @@ class PbftReplica(ConsensusReplica):
             return
         if len(slot.prepares) >= self.config.quorum:
             slot.prepared = True
+            # The prepared certificate's vote signatures are checked as
+            # it forms; votes seen in an earlier view's certificate for
+            # the same digest are cache hits.
+            self._note_certificate(
+                slot.prepares, f"prepare:{seq}:{slot.digest}"
+            )
             if not slot.commit_sent:
                 slot.commit_sent = True
                 commit = Commit(
@@ -329,6 +335,7 @@ class PbftReplica(ConsensusReplica):
             return
         if self.has_decided(seq):
             return
+        self._note_certificate(slot.commits, f"commit:{seq}:{slot.digest}")
         self._decide(seq, slot.value)
         self._requests.pop(slot.digest, None)
         self._timeout_factor = 1.0

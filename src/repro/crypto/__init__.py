@@ -15,8 +15,9 @@ Digest and Merkle-tree helpers are shared by the ledger layer.
 
 from repro.crypto.digests import hash_pair, sha256_hex
 from repro.crypto.group import SchnorrGroup, default_group, simulation_group
-from repro.crypto.merkle import MerkleProof, MerkleTree
+from repro.crypto.merkle import IncrementalMerkleRoot, MerkleProof, MerkleTree
 from repro.crypto.commitments import PedersenCommitment, PedersenParams
+from repro.crypto.sigcache import ModelledSigVerifier, SignatureCache
 from repro.crypto.signatures import (
     HmacSignatureScheme,
     KeyPair,
@@ -27,10 +28,13 @@ from repro.crypto.signatures import (
 
 __all__ = [
     "HmacSignatureScheme",
+    "IncrementalMerkleRoot",
     "KeyPair",
     "MembershipService",
     "MerkleProof",
     "MerkleTree",
+    "ModelledSigVerifier",
+    "SignatureCache",
     "PedersenCommitment",
     "PedersenParams",
     "SchnorrGroup",

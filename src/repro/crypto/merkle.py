@@ -1,4 +1,4 @@
-"""Merkle trees with inclusion proofs.
+"""Merkle trees with inclusion proofs — with cached construction.
 
 Blocks commit to their transaction batch through a Merkle root; private
 data collections (paper section 2.3.1) put only such digests on the shared
@@ -6,14 +6,75 @@ ledger and verify the off-ledger data against them.
 
 Odd levels duplicate the final node (the Bitcoin convention), which keeps
 proof generation simple and is documented behaviour, not an accident.
+
+Construction is cached on the protocol hot path:
+
+* leaf digests are interned (an LRU over payload -> SHA-256), so a
+  payload hashed for ``Block.create`` is not re-hashed when the block is
+  validated on append or audited later;
+* whole roots are memoized by their leaf-digest tuple, so re-deriving a
+  block's root (``validate_payload``, ``verify_chain``, fuzz-monitor
+  linkage checks) is a dictionary lookup instead of a full rebuild;
+* :class:`IncrementalMerkleRoot` maintains the root of an append-style
+  batch with O(log n) cached subtree peaks per append instead of an
+  O(n) rebuild per transaction.
+
+``MERKLE_COUNTERS`` tracks interior nodes actually hashed vs. served
+from cache (surfaced through ``repro.bench.profiling``). All caches are
+content-keyed and deterministic, so same-seed runs stay byte-identical.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.common.errors import CryptoError
 from repro.crypto.digests import hash_pair, sha256_hex
+
+#: Capacity of the leaf-digest intern table and the root memo.
+_LEAF_CACHE_CAPACITY = 65536
+_ROOT_CACHE_CAPACITY = 8192
+
+_LEAF_CACHE: OrderedDict[bytes | str, str] = OrderedDict()
+_ROOT_CACHE: OrderedDict[tuple[str, ...], str] = OrderedDict()
+
+#: Live counters for the hot-path benchmarks (see
+#: ``repro.bench.profiling.hotpath_counters``).
+MERKLE_COUNTERS = {
+    "nodes_hashed": 0,
+    "leaves_hashed": 0,
+    "leaf_cache_hits": 0,
+    "root_cache_hits": 0,
+}
+
+
+def reset_merkle_caches() -> None:
+    """Clear caches and counters (benchmark isolation)."""
+    _LEAF_CACHE.clear()
+    _ROOT_CACHE.clear()
+    for key in MERKLE_COUNTERS:
+        MERKLE_COUNTERS[key] = 0
+
+
+def _leaf_digest(leaf: bytes | str) -> str:
+    """Interned SHA-256 of one leaf payload."""
+    cached = _LEAF_CACHE.get(leaf)
+    if cached is not None:
+        _LEAF_CACHE.move_to_end(leaf)
+        MERKLE_COUNTERS["leaf_cache_hits"] += 1
+        return cached
+    digest = sha256_hex(leaf)
+    MERKLE_COUNTERS["leaves_hashed"] += 1
+    _LEAF_CACHE[leaf] = digest
+    while len(_LEAF_CACHE) > _LEAF_CACHE_CAPACITY:
+        _LEAF_CACHE.popitem(last=False)
+    return digest
+
+
+def _hash_pair(left: str, right: str) -> str:
+    MERKLE_COUNTERS["nodes_hashed"] += 1
+    return hash_pair(left, right)
 
 
 @dataclass(frozen=True)
@@ -45,7 +106,7 @@ class MerkleTree:
     def __init__(self, leaves: list[bytes | str]) -> None:
         if not leaves:
             raise CryptoError("Merkle tree requires at least one leaf")
-        self._leaf_digests = [sha256_hex(leaf) for leaf in leaves]
+        self._leaf_digests = [_leaf_digest(leaf) for leaf in leaves]
         self._levels = self._build_levels(self._leaf_digests)
 
     @staticmethod
@@ -57,7 +118,7 @@ class MerkleTree:
             for i in range(0, len(below), 2):
                 left = below[i]
                 right = below[i + 1] if i + 1 < len(below) else below[i]
-                above.append(hash_pair(left, right))
+                above.append(_hash_pair(left, right))
             levels.append(above)
         return levels
 
@@ -101,8 +162,78 @@ class MerkleTree:
         return proof.root() == root
 
 
+def _root_of_digests(leaf_digests: list[str]) -> str:
+    """Root only — no stored levels (and no proof support)."""
+    level = leaf_digests
+    while len(level) > 1:
+        level = [
+            _hash_pair(level[i], level[i + 1] if i + 1 < len(level) else level[i])
+            for i in range(0, len(level), 2)
+        ]
+    return level[0]
+
+
 def merkle_root(leaves: list[bytes | str]) -> str:
-    """Convenience: the Merkle root of ``leaves`` (empty list → digest of b'')."""
+    """The Merkle root of ``leaves`` (empty list → digest of b'').
+
+    Memoized by the leaf-digest tuple: re-deriving a known batch's root
+    (block payload validation, chain audits) is a cache lookup.
+    """
     if not leaves:
         return sha256_hex(b"")
-    return MerkleTree(leaves).root
+    key = tuple(_leaf_digest(leaf) for leaf in leaves)
+    cached = _ROOT_CACHE.get(key)
+    if cached is not None:
+        _ROOT_CACHE.move_to_end(key)
+        MERKLE_COUNTERS["root_cache_hits"] += 1
+        return cached
+    root = _root_of_digests(list(key))
+    _ROOT_CACHE[key] = root
+    while len(_ROOT_CACHE) > _ROOT_CACHE_CAPACITY:
+        _ROOT_CACHE.popitem(last=False)
+    return root
+
+
+class IncrementalMerkleRoot:
+    """Streaming Merkle root for append-style block assembly.
+
+    Keeps the cached roots of the perfect-subtree *peaks* of the leaves
+    appended so far (a binary-counter decomposition), so each append
+    hashes O(log n) amortized interior nodes and :meth:`root` folds the
+    peaks with the same odd-leaf duplication convention as
+    :class:`MerkleTree` — the two always agree on the same leaves.
+    """
+
+    __slots__ = ("_peaks", "_count")
+
+    def __init__(self) -> None:
+        #: (height, digest) peaks, height strictly decreasing.
+        self._peaks: list[tuple[int, str]] = []
+        self._count = 0
+
+    def append(self, leaf: bytes | str) -> None:
+        height, digest = 0, _leaf_digest(leaf)
+        while self._peaks and self._peaks[-1][0] == height:
+            _, left = self._peaks.pop()
+            digest = _hash_pair(left, digest)
+            height += 1
+        self._peaks.append((height, digest))
+        self._count += 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def root(self) -> str:
+        """Root of everything appended so far (empty → digest of b'')."""
+        if not self._peaks:
+            return sha256_hex(b"")
+        height, current = self._peaks[-1]
+        for peak_height, peak_digest in reversed(self._peaks[:-1]):
+            # Lift the running suffix to the peak's height, duplicating
+            # the lone node at each odd level (the Bitcoin convention).
+            while height < peak_height:
+                current = _hash_pair(current, current)
+                height += 1
+            current = _hash_pair(peak_digest, current)
+            height = peak_height + 1
+        return current

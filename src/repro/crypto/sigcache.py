@@ -1,0 +1,118 @@
+"""Signature-verification caching — the FastFabric crypto fast path.
+
+FastFabric (Gorenflo et al., ICBC 2019) gets a large share of its
+headline speedup from not redoing crypto work: signatures the peer has
+already checked (at endorsement receipt, in an earlier block, inside a
+quorum certificate seen before) are skipped on re-validation. Two
+pieces model that here:
+
+* :class:`SignatureCache` — a real LRU over (signer, digest) pairs used
+  by :class:`~repro.crypto.signatures.MembershipService` so repeated
+  verifications of the same bytes short-circuit the underlying scheme.
+* :class:`ModelledSigVerifier` — the *accounting* twin: a deterministic
+  first-sight ledger that charges the modelled ``verify_cost`` exactly
+  once per (signer, digest) pair and zero on every later sight. Systems
+  charge simulated CPU through it, so a cache hit is free only where a
+  real FastFabric-style peer would also skip the work.
+
+Both are plain per-process state with deterministic (insertion-ordered)
+eviction, so same-seed runs — serial or forked-parallel — stay
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Iterable
+
+#: Default capacity of both cache kinds. Large enough that a benchmark
+#: run never evicts; bounded so long-lived processes cannot leak.
+DEFAULT_CAPACITY = 65536
+
+
+class SignatureCache:
+    """LRU of verification outcomes keyed by (signer, digest, signature).
+
+    ``get``/``put`` are split (rather than a compute-through helper) so
+    the membership service can keep its revocation check *outside* the
+    cache: a cached True must never outlive the member's enrollment.
+    """
+
+    __slots__ = ("_entries", "capacity", "hits", "misses")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self._entries: OrderedDict[Hashable, bool] = OrderedDict()
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> bool | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, ok: bool) -> None:
+        self._entries[key] = ok
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class ModelledSigVerifier:
+    """First-sight ledger for *modelled* signature-verification cost.
+
+    ``charge(signer, digest)`` returns ``verify_cost`` the first time a
+    pair is seen and 0.0 afterwards — the validating peer verified that
+    signature once and caches the outcome, so re-encountering it (block
+    re-validation, a quorum certificate carrying votes already checked,
+    an endorsement verified at submission) costs nothing. Counters keep
+    the verifies-performed vs. verifies-skipped split for benchmarks.
+    """
+
+    __slots__ = ("_seen", "capacity", "verify_cost", "verified", "cached")
+
+    def __init__(
+        self, verify_cost: float, capacity: int = DEFAULT_CAPACITY
+    ) -> None:
+        self._seen: OrderedDict[Hashable, None] = OrderedDict()
+        self.capacity = capacity
+        self.verify_cost = verify_cost
+        self.verified = 0  # real verifications performed (charged)
+        self.cached = 0  # re-verifications skipped (free)
+
+    def charge(self, signer: str, digest: str) -> float:
+        key = (signer, digest)
+        if key in self._seen:
+            self._seen.move_to_end(key)
+            self.cached += 1
+            return 0.0
+        self._seen[key] = None
+        while len(self._seen) > self.capacity:
+            self._seen.popitem(last=False)
+        self.verified += 1
+        return self.verify_cost
+
+    def charge_batch(self, pairs: Iterable[tuple[str, str]]) -> float:
+        """Batch verification of a quorum certificate / endorsement set:
+        the sum of first-sight charges over its (signer, digest) pairs."""
+        return sum(self.charge(signer, digest) for signer, digest in pairs)
+
+    def record(self, signer: str, digest: str) -> bool:
+        """Mark a pair verified without charging (the verification was
+        already paid for elsewhere on this peer's timeline). Returns
+        True when the pair was new."""
+        key = (signer, digest)
+        if key in self._seen:
+            self._seen.move_to_end(key)
+            return False
+        self._seen[key] = None
+        while len(self._seen) > self.capacity:
+            self._seen.popitem(last=False)
+        return True

@@ -22,9 +22,11 @@ import hashlib
 import hmac
 import secrets
 from dataclasses import dataclass
+from typing import Iterable
 
 from repro.common.errors import CryptoError
 from repro.crypto.group import SchnorrGroup, default_group
+from repro.crypto.sigcache import DEFAULT_CAPACITY, SignatureCache
 
 
 @dataclass(frozen=True)
@@ -104,29 +106,51 @@ class SchnorrSignatureScheme(SignatureScheme):
 
 
 class HmacSignatureScheme(SignatureScheme):
-    """CA-mediated MACs: fast, verified through the membership service."""
+    """CA-mediated MACs: fast, verified through the membership service.
+
+    The keyed HMAC object for each identity is built once at enrollment
+    and re-used via ``copy()`` — key-schedule setup (two SHA-256 block
+    compressions per key) is paid per member, not per verification, so
+    neither signing nor verifying re-derives the member secret.
+    """
 
     sign_cost = 0.0002
     verify_cost = 0.0005
 
     def __init__(self) -> None:
         self._secrets: dict[bytes, bytes] = {}
+        #: public key -> keyed (empty-message) HMAC object, cloned per call.
+        self._keyed: dict[bytes, hmac.HMAC] = {}
+
+    def _keyed_hmac(self, public: bytes, secret: bytes) -> hmac.HMAC:
+        keyed = self._keyed.get(public)
+        if keyed is None:
+            keyed = hmac.new(secret, digestmod=hashlib.sha256)
+            self._keyed[public] = keyed
+        return keyed
 
     def keygen(self, identity: str) -> KeyPair:
         secret = secrets.token_bytes(32)
         public = hashlib.sha256(identity.encode() + secret).digest()
         self._secrets[public] = secret
+        self._keyed_hmac(public, secret)
         return KeyPair(identity=identity, private=secret, public=public)
 
     def sign(self, keypair: KeyPair, message: bytes) -> bytes:
-        return hmac.new(keypair.private, message, hashlib.sha256).digest()
+        keyed = self._keyed.get(keypair.public)
+        if keyed is None:
+            return hmac.new(keypair.private, message, hashlib.sha256).digest()
+        mac = keyed.copy()
+        mac.update(message)
+        return mac.digest()
 
     def verify(self, public: bytes, message: bytes, signature: bytes) -> bool:
         secret = self._secrets.get(public)
         if secret is None:
             return False
-        expected = hmac.new(secret, message, hashlib.sha256).digest()
-        return hmac.compare_digest(expected, signature)
+        mac = self._keyed_hmac(public, secret).copy()
+        mac.update(message)
+        return hmac.compare_digest(mac.digest(), signature)
 
 
 class MembershipService:
@@ -137,10 +161,18 @@ class MembershipService:
     modelling certificate revocation.
     """
 
-    def __init__(self, scheme: SignatureScheme | None = None) -> None:
+    def __init__(
+        self,
+        scheme: SignatureScheme | None = None,
+        cache_size: int = DEFAULT_CAPACITY,
+    ) -> None:
         self._scheme = scheme or HmacSignatureScheme()
         self._members: dict[str, KeyPair] = {}
         self._revoked: set[str] = set()
+        #: LRU of verification outcomes keyed by (identity, message,
+        #: signature). Revocation is checked before the cache, so a
+        #: cached True never outlives the member's enrollment.
+        self._cache = SignatureCache(capacity=cache_size)
 
     @property
     def scheme(self) -> SignatureScheme:
@@ -175,7 +207,38 @@ class MembershipService:
         return self._scheme.sign(self._members[identity], message)
 
     def verify(self, identity: str, message: bytes, signature: bytes) -> bool:
-        """Verify a member's signature; revoked members always fail."""
+        """Verify a member's signature; revoked members always fail.
+
+        Outcomes are cached per (identity, message, signature), so a
+        validator re-checking a signature it has already seen — a quorum
+        certificate vote, an endorsement re-validated at commit — skips
+        the underlying scheme entirely (the FastFabric fast path).
+        """
         if not self.is_member(identity):
             return False
-        return self._scheme.verify(self._members[identity].public, message, signature)
+        key = (identity, message, signature)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        ok = self._scheme.verify(
+            self._members[identity].public, message, signature
+        )
+        self._cache.put(key, ok)
+        return ok
+
+    def verify_batch(
+        self, entries: Iterable[tuple[str, bytes, bytes]]
+    ) -> bool:
+        """Verify a quorum certificate / endorsement set: every
+        (identity, message, signature) entry must check out. Each entry
+        goes through (and populates) the verification cache, so
+        re-presenting a certificate is pure cache hits."""
+        return all(
+            self.verify(identity, message, signature)
+            for identity, message, signature in entries
+        )
+
+    @property
+    def cache_stats(self) -> dict[str, int]:
+        """Verification-cache hit/miss counters (benchmark surface)."""
+        return {"hits": self._cache.hits, "misses": self._cache.misses}

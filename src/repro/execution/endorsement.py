@@ -230,13 +230,16 @@ class EndorsingPeerGroup:
 
     def verify_endorsements(self, endorsed: EndorsedTx) -> bool:
         """Validator-side check: every endorsement signs the same digest
-        and verifies against its peer's registered key."""
+        and verifies against its peer's registered key. The signatures
+        go through the membership service's batch path, so a set already
+        checked at submission re-validates from cache."""
         digest = endorsed.rwset.digest()
-        for endorsement in endorsed.endorsements:
-            if endorsement.rwset_digest != digest:
-                return False
-            if not self.membership.verify(
-                endorsement.endorser, digest.encode(), endorsement.signature
-            ):
-                return False
-        return True
+        if any(
+            endorsement.rwset_digest != digest
+            for endorsement in endorsed.endorsements
+        ):
+            return False
+        return self.membership.verify_batch(
+            (endorsement.endorser, digest.encode(), endorsement.signature)
+            for endorsement in endorsed.endorsements
+        )

@@ -25,11 +25,18 @@ class BlockHeader:
     proposer: str
 
     def digest(self) -> str:
+        # Memoized: header digests chain blocks together, so appends,
+        # tip comparisons and audits all re-ask for the same hash.
+        cached = getattr(self, "_digest_memo", None)
+        if cached is not None:
+            return cached
         material = (
             f"{self.height}|{self.prev_hash}|{self.tx_root}"
             f"|{self.timestamp}|{self.proposer}"
         )
-        return sha256_hex(material)
+        digest = sha256_hex(material)
+        object.__setattr__(self, "_digest_memo", digest)
+        return digest
 
 
 @dataclass(frozen=True)

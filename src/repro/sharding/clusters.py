@@ -222,9 +222,14 @@ class ShardedSystem:
         self.sim.schedule_at(done_at, finish)
 
     def execute_on_shards(self, tx: Transaction, shards: list[str]) -> RWSet:
-        """Run the contract against the union view of ``shards``."""
+        """Run the contract against the union view of ``shards``.
+
+        Each shard contributes an O(1) copy-on-write snapshot, so the
+        execution reads a stable cut of every shard's state even while
+        later decisions commit into the live stores.
+        """
         view = _ShardUnionView(
-            {s: self.stores[s] for s in shards}, self.shard_of_key
+            {s: self.stores[s].snapshot() for s in shards}, self.shard_of_key
         )
         return execute_with_capture(self.registry, tx, view)
 
@@ -307,10 +312,10 @@ class ShardedSystem:
 
 
 class _ShardUnionView:
-    """Read view routing each key to its owning shard's store."""
+    """Read view routing each key to its owning shard's snapshot."""
 
     def __init__(
-        self, stores: dict[str, StateStore], shard_of_key: Callable[[str], str]
+        self, stores: dict[str, Any], shard_of_key: Callable[[str], str]
     ) -> None:
         self._stores = stores
         self._shard_of_key = shard_of_key

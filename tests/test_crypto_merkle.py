@@ -3,7 +3,14 @@
 import pytest
 
 from repro.common.errors import CryptoError
-from repro.crypto.merkle import MerkleProof, MerkleTree, merkle_root
+from repro.crypto.merkle import (
+    MERKLE_COUNTERS,
+    IncrementalMerkleRoot,
+    MerkleProof,
+    MerkleTree,
+    merkle_root,
+    reset_merkle_caches,
+)
 
 
 class TestMerkleTree:
@@ -68,3 +75,58 @@ class TestMerkleTree:
         three = MerkleTree(["a", "b", "c"]).root
         four = MerkleTree(["a", "b", "c", "c"]).root
         assert three == four
+
+
+class TestMerkleCaches:
+    def test_root_memoized_on_reuse(self):
+        reset_merkle_caches()
+        leaves = [f"tx-{i}" for i in range(16)]
+        first = merkle_root(leaves)
+        hashed_once = MERKLE_COUNTERS["nodes_hashed"]
+        assert merkle_root(list(leaves)) == first  # fresh list, same digests
+        assert MERKLE_COUNTERS["nodes_hashed"] == hashed_once
+        assert MERKLE_COUNTERS["root_cache_hits"] == 1
+
+    def test_leaf_digests_interned_across_trees(self):
+        reset_merkle_caches()
+        MerkleTree(["a", "b", "c"])
+        hashed = MERKLE_COUNTERS["leaves_hashed"]
+        MerkleTree(["a", "b", "c"])
+        assert MERKLE_COUNTERS["leaves_hashed"] == hashed
+        assert MERKLE_COUNTERS["leaf_cache_hits"] >= 3
+
+    def test_cached_root_equals_uncached(self):
+        leaves = ["x", "y", "z", "w", "v"]
+        reset_merkle_caches()
+        cold = merkle_root(leaves)
+        warm = merkle_root(leaves)
+        reset_merkle_caches()
+        assert merkle_root(leaves) == cold == warm
+
+
+class TestIncrementalMerkleRoot:
+    @pytest.mark.parametrize("size", list(range(1, 70)) + [127, 128, 129, 300])
+    def test_matches_static_tree_at_every_size(self, size):
+        leaves = [f"leaf-{i}" for i in range(size)]
+        incremental = IncrementalMerkleRoot()
+        for leaf in leaves:
+            incremental.append(leaf)
+        assert incremental.root() == MerkleTree(leaves).root
+        assert len(incremental) == size
+
+    def test_root_stable_across_repeated_queries(self):
+        incremental = IncrementalMerkleRoot()
+        for i in range(5):
+            incremental.append(f"l{i}")
+        assert incremental.root() == incremental.root()
+
+    def test_empty_matches_merkle_root_of_empty(self):
+        assert IncrementalMerkleRoot().root() == merkle_root([])
+
+    def test_mid_stream_roots_match_prefix_trees(self):
+        incremental = IncrementalMerkleRoot()
+        leaves = []
+        for i in range(33):
+            leaves.append(f"leaf-{i}")
+            incremental.append(leaves[-1])
+            assert incremental.root() == MerkleTree(list(leaves)).root

@@ -91,3 +91,70 @@ class TestMembershipService:
         assert ms.public_key("n") == keypair.public
         with pytest.raises(CryptoError):
             ms.public_key("ghost")
+
+
+class TestHmacKeyedCache:
+    def test_keyed_object_built_once_per_identity(self):
+        scheme = HmacSignatureScheme()
+        keypair = scheme.keygen("n")
+        first = scheme._keyed.get(keypair.public)
+        assert first is not None  # key schedule precomputed at enrollment
+        scheme.sign(keypair, b"m1")
+        scheme.verify(keypair.public, b"m2", scheme.sign(keypair, b"m2"))
+        assert scheme._keyed.get(keypair.public) is first  # never rebuilt
+
+    def test_cached_key_matches_fresh_derivation(self):
+        import hashlib
+        import hmac as hmac_mod
+
+        scheme = HmacSignatureScheme()
+        keypair = scheme.keygen("n")
+        fresh = hmac_mod.new(keypair.private, b"msg", hashlib.sha256).digest()
+        assert scheme.sign(keypair, b"msg") == fresh
+
+    def test_sign_without_enrollment_falls_back(self):
+        scheme = HmacSignatureScheme()
+        foreign = HmacSignatureScheme().keygen("elsewhere")
+        signature = scheme.sign(foreign, b"m")  # no cached key: derives
+        assert len(signature) == 32
+
+
+class TestVerificationCache:
+    def test_repeat_verification_hits_cache(self):
+        ms = MembershipService()
+        ms.register("peer")
+        sig = ms.sign("peer", b"digest")
+        assert ms.verify("peer", b"digest", sig)
+        before = ms.cache_stats
+        for _ in range(5):
+            assert ms.verify("peer", b"digest", sig)
+        after = ms.cache_stats
+        assert after["hits"] == before["hits"] + 5
+        assert after["misses"] == before["misses"]
+
+    def test_negative_outcomes_also_cached(self):
+        ms = MembershipService()
+        ms.register("peer")
+        assert not ms.verify("peer", b"digest", b"bogus")
+        before = ms.cache_stats["hits"]
+        assert not ms.verify("peer", b"digest", b"bogus")
+        assert ms.cache_stats["hits"] == before + 1
+
+    def test_revocation_beats_cache(self):
+        # A cached True must never outlive enrollment: revocation is
+        # checked before the cache is consulted.
+        ms = MembershipService()
+        ms.register("peer")
+        sig = ms.sign("peer", b"digest")
+        assert ms.verify("peer", b"digest", sig)  # caches True
+        ms.revoke("peer")
+        assert not ms.verify("peer", b"digest", sig)
+
+    def test_verify_batch_all_or_nothing(self):
+        ms = MembershipService()
+        ms.register("a")
+        ms.register("b")
+        sig_a = ms.sign("a", b"d")
+        sig_b = ms.sign("b", b"d")
+        assert ms.verify_batch([("a", b"d", sig_a), ("b", b"d", sig_b)])
+        assert not ms.verify_batch([("a", b"d", sig_a), ("b", b"d", sig_a)])

@@ -9,6 +9,15 @@ per event, a debug hook left enabled — so the wall-clock ceilings are
 
 import time
 
+import pytest
+
+from repro.crypto.sigcache import ModelledSigVerifier
+from repro.ledger.store import (
+    STORE_COUNTERS,
+    StateStore,
+    Version,
+    reset_store_counters,
+)
 from repro.sim.core import Simulation
 from repro.sim.network import LanLatency, Network
 from repro.sim.node import Node
@@ -16,6 +25,9 @@ from repro.sim.node import Node
 EVENTS = 50_000
 EVENT_LOOP_CEILING_SECONDS = 5.0
 BROADCAST_CEILING_SECONDS = 5.0
+#: Per-snapshot ceiling for a 100k-key store. Measured ~0.3us; an O(n)
+#: regression would cost tens of milliseconds — 5000x headroom.
+SNAPSHOT_CEILING_SECONDS = 0.002
 
 
 def test_event_loop_50k_under_ceiling():
@@ -65,3 +77,44 @@ def test_broadcast_50k_sends_under_ceiling():
         f"{EVENTS} sends took {wall:.2f}s — gross transport regression"
     )
     assert sim.metrics.get("net.messages") == EVENTS
+
+
+@pytest.mark.perf
+def test_snapshot_is_constant_time_in_state_size():
+    """Snapshot creation must be O(1): zero entries copied (counter
+    proof) and per-snapshot wall time under a ceiling that any O(state)
+    implementation busts by orders of magnitude at 100k keys."""
+    reset_store_counters()
+    store = StateStore()
+    store.apply_writes({f"k{i}": i for i in range(100_000)}, Version(1, 0))
+    store.snapshot()  # absorb the one-time seal/compaction of the load
+    rounds = 200
+    start = time.perf_counter()
+    for height in range(rounds):
+        store.snapshot()
+        store.put("hot", height, Version(2 + height, 0))
+    per_snapshot = (time.perf_counter() - start) / rounds
+    assert STORE_COUNTERS["snapshot_entries_copied"] == 0
+    assert per_snapshot < SNAPSHOT_CEILING_SECONDS, (
+        f"snapshot of a 100k-key store took {per_snapshot * 1e6:.0f}us — "
+        "snapshot creation is no longer O(1)"
+    )
+
+
+@pytest.mark.perf
+def test_sig_cache_never_charges_verify_cost_twice():
+    """The modelled verification ledger charges ``verify_cost`` exactly
+    once per (signer, digest) pair — the FastFabric accounting rule."""
+    ledger = ModelledSigVerifier(verify_cost=0.0005)
+    assert ledger.charge("peer1", "digest-a") == 0.0005
+    assert ledger.charge("peer1", "digest-a") == 0.0
+    assert ledger.charge("peer2", "digest-a") == 0.0005  # other signer
+    assert ledger.charge("peer1", "digest-b") == 0.0005  # other digest
+    assert ledger.charge_batch(
+        [("peer1", "digest-a"), ("peer2", "digest-a"), ("peer3", "digest-a")]
+    ) == 0.0005  # only peer3 is first-sight
+    assert ledger.verified == 4
+    assert ledger.cached == 3
+    # record() marks pairs as already paid for (verified at endorsement).
+    ledger.record("peer9", "digest-z")
+    assert ledger.charge("peer9", "digest-z") == 0.0
