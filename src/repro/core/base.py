@@ -29,6 +29,7 @@ from repro.common.metrics import RunResult
 from repro.common.types import Transaction
 from repro.consensus import PROTOCOLS, ConsensusCluster
 from repro.execution.contracts import ContractRegistry, standard_registry
+from repro.execution.pipeline import ExecutionPipeline
 from repro.ledger.chain import Blockchain
 from repro.ledger.store import StateStore
 from repro.sim.core import Simulation
@@ -44,6 +45,9 @@ class SystemConfig:
         protocol: Ordering protocol name (see ``repro.consensus.PROTOCOLS``).
         executors: Parallel execution/validation lanes available to a peer.
         endorsers: Endorsement-policy size (XOV family only).
+        pipeline_depth: Blocks that may occupy the validation pipeline
+            concurrently (XOV family only; commit order is preserved).
+            1 = the classic strictly-serial block pipeline.
         block_size: Transactions per block.
         block_interval: Maximum time a partial block waits before cutting.
         arrival_rate: Client submission rate in tx/s (None = all at t=0).
@@ -57,6 +61,7 @@ class SystemConfig:
     protocol: str = "pbft"
     executors: int = 4
     endorsers: int = 3
+    pipeline_depth: int = 1
     block_size: int = 50
     block_interval: float = 0.1
     arrival_rate: float | None = 2000.0
@@ -75,6 +80,8 @@ class SystemConfig:
             raise ConfigError("block_size must be >= 1")
         if self.executors < 1:
             raise ConfigError("executors must be >= 1")
+        if self.pipeline_depth < 1:
+            raise ConfigError("pipeline_depth must be >= 1")
 
 
 @dataclass
@@ -123,7 +130,9 @@ class BlockchainSystem:
         self._order_queue: list[str] = []  # tx ids awaiting a block
         self._block_timer = None
         self._payload_of: dict[tuple[str, ...], list[str]] = {}
-        self._exec_free_at = 0.0
+        # Execution/validation timeline. Depth 1 (strictly serial
+        # blocks) unless a subclass opts into pipelined validation.
+        self._exec_pipeline = ExecutionPipeline(depth=1)
         self._ran = False
 
     # -- client API ----------------------------------------------------------
@@ -217,10 +226,13 @@ class BlockchainSystem:
 
     def _claim_executor(self, duration: float) -> float:
         """Occupy the peer's execution pipeline for ``duration`` simulated
-        seconds; returns the completion time."""
-        start = max(self.sim.now, self._exec_free_at)
-        self._exec_free_at = start + duration
-        return self._exec_free_at
+        seconds; returns the (in-order) completion time.
+
+        With ``pipeline_depth > 1`` (XOV family) up to that many blocks'
+        validation work overlaps on the virtual timeline, but completion
+        times stay monotone in claim order so state transitions apply in
+        exact block order."""
+        return self._exec_pipeline.claim(self.sim.now, duration)
 
     # -- commit bookkeeping ------------------------------------------------------------
 

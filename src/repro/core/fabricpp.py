@@ -8,7 +8,12 @@ Modelled as XOV plus the greedy conflict-graph reordering of
 ``repro.execution.reorder.reorder_fabricpp``: within each decided block,
 transactions are re-serialised so that readers precede the writers that
 would invalidate them; transactions trapped in dependency cycles are
-aborted using Fabric++'s max-degree heuristic.
+aborted using Fabric++'s max-degree heuristic. Constraint edges come
+from the XOV family's incremental
+:class:`~repro.execution.conflict_index.ConstraintIndex`, built at
+endorsement time, so the per-block analysis never re-scans read/write
+sets; ``SystemConfig.pipeline_depth > 1`` additionally overlaps the
+validation work of consecutive blocks (commit order preserved).
 """
 
 from __future__ import annotations

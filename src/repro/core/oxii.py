@@ -5,19 +5,24 @@ Like OX, transactions are ordered before execution (pessimistic), but
 for the transactions within a block ... enabling the parallel execution
 of non-conflicting transactions" (paper section 2.3.3).
 
-The dependency graph is built from *declared* read/write sets at
-ordering time; the execute phase then costs the makespan of list
-scheduling on the executor pool instead of the serial sum. Under low
-contention this approaches serial-cost / executors; under total
-contention it degrades gracefully to OX.
+The dependency graph is built from *declared* read/write sets
+incrementally, as transactions arrive: each declared read/write set is
+ingested into a persistent
+:class:`~repro.execution.conflict_index.BlockConflictIndex`, so cutting
+a block only extracts the already-known intra-block edges instead of
+re-scanning the block's key sets. The execute phase then costs the
+makespan of list scheduling on the executor pool instead of the serial
+sum. Under low contention this approaches serial-cost / executors;
+under total contention it degrades gracefully to OX.
 """
 
 from __future__ import annotations
 
+from repro.common.errors import ExecutionError
 from repro.common.types import Transaction
 from repro.core.base import BlockchainSystem, _TxRecord
+from repro.execution.conflict_index import BlockConflictIndex, SealTracker
 from repro.execution.depgraph import (
-    build_dependency_graph,
     schedule_multi_enterprise,
     schedule_parallel,
 )
@@ -48,16 +53,29 @@ class OxiiSystem(BlockchainSystem):
         self.per_enterprise = per_enterprise
         self.executors_per_enterprise = executors_per_enterprise
         self.cross_enterprise_latency = cross_enterprise_latency
+        self._conflict_index = BlockConflictIndex()
+        self._uid_of: dict[str, int] = {}
+        self._seals = SealTracker()
 
     def _ingest(self, record: _TxRecord) -> None:
-        self._enqueue_for_ordering(record.tx.tx_id)
+        tx = record.tx
+        if not tx.declared_ops:
+            raise ExecutionError(
+                f"OXII requires declared operations; tx {tx.tx_id} has none"
+            )
+        self._uid_of[tx.tx_id] = self._conflict_index.ingest(
+            tx.read_keys, tx.write_keys
+        )
+        self._enqueue_for_ordering(tx.tx_id)
 
     def _on_block_decided(self, txs: list[Transaction]) -> None:
         block = self.ledger.next_block(
             txs, timestamp=self.sim.now, proposer=self._reference_orderer
         )
         self.ledger.append(block)
-        graph = build_dependency_graph(list(txs))
+        uids = [self._uid_of.pop(tx.tx_id) for tx in txs]
+        graph = self._conflict_index.graph_for(uids, list(txs))
+        self._conflict_index.seal(self._seals.decide(uids))
         costs = [self.registry.cost(tx.contract) for tx in txs]
         if self.per_enterprise:
             owners = [tx.submitter for tx in txs]

@@ -28,7 +28,9 @@ from __future__ import annotations
 from repro.common.types import Transaction
 from repro.core.base import BlockchainSystem, _TxRecord
 from repro.crypto.sigcache import ModelledSigVerifier
+from repro.execution.conflict_index import ConstraintIndex, SealTracker
 from repro.execution.mvcc import EndorsedTx, endorse, validate_endorsement
+from repro.execution.pipeline import ExecutionPipeline
 from repro.execution.reexec import reexecute_invalidated
 from repro.execution.reorder import reorder_fabricpp, reorder_fabricsharp
 from repro.ledger.store import Version
@@ -45,6 +47,10 @@ class XovSystem(BlockchainSystem):
     name = "xov"
     #: None, "fabricpp", or "fabricsharp".
     reorder: str | None = None
+    #: FabricSharp only: override for the component size above which the
+    #: exact minimum-feedback-vertex-set search falls back to the greedy
+    #: heuristic (None = ``reorder._EXACT_FVS_LIMIT``).
+    reorder_exact_limit: int | None = None
     #: FastFabric: validate with ``config.executors`` parallel lanes.
     parallel_validation = False
     #: XOX: re-execute MVCC-invalidated transactions post-order.
@@ -61,7 +67,17 @@ class XovSystem(BlockchainSystem):
         by an agreeing group. Without them, endorsement is the plain
         single-result simulation."""
         super().__init__(config, registry)
+        # XOV validates in block order but may overlap the verification
+        # work of up to ``pipeline_depth`` consecutive blocks
+        # (FastFabric's pipelined validation, available to the whole
+        # family); completion stays monotone so commits keep block order.
+        self._exec_pipeline = ExecutionPipeline(self.config.pipeline_depth)
         self._endorsed: dict[str, EndorsedTx] = {}
+        # Reordering variants index constraint edges incrementally at
+        # endorsement time; block analysis is then a subset lookup.
+        self._constraint_index = ConstraintIndex()
+        self._uid_of: dict[str, int] = {}
+        self._seals = SealTracker()
         #: FastFabric-style verification cache of the validating peer:
         #: each (signer, digest) pair charges modelled ``verify_cost``
         #: exactly once; re-encounters (an endorsement already verified
@@ -111,6 +127,10 @@ class XovSystem(BlockchainSystem):
                 for e in endorsed.endorsements:
                     self._sig_ledger.record(e.endorser, e.rwset_digest)
             self._endorsed[tx.tx_id] = endorsed
+            if self.reorder is not None:
+                self._uid_of[tx.tx_id] = self._constraint_index.ingest(
+                    endorsed.rwset.read_keys, endorsed.rwset.write_keys
+                )
             self._enqueue_for_ordering(tx.tx_id)
 
         self.sim.schedule(duration, endorsement_done)
@@ -160,20 +180,33 @@ class XovSystem(BlockchainSystem):
 
         self.sim.schedule_at(done_at, finish)
 
+    def _edges_for(self, subset: list[EndorsedTx]) -> dict[int, set[int]]:
+        """Constraint edges for a block subset from the incremental index."""
+        return self._constraint_index.edges_among(
+            [self._uid_of[entry.tx.tx_id] for entry in subset]
+        )
+
     def _apply_reorder(
         self, endorsed: list[EndorsedTx]
     ) -> tuple[list[EndorsedTx], list[EndorsedTx]]:
         """Returns (final order, pre-aborted)."""
         if self.reorder == "fabricpp":
-            outcome = reorder_fabricpp(endorsed)
+            outcome = reorder_fabricpp(endorsed, edge_fn=self._edges_for)
             return outcome.order, outcome.aborted
         if self.reorder == "fabricsharp":
-            outcome = reorder_fabricsharp(endorsed, self.store)
+            outcome = reorder_fabricsharp(
+                endorsed, self.store,
+                edge_fn=self._edges_for,
+                exact_limit=self.reorder_exact_limit,
+            )
             return outcome.order, outcome.aborted + outcome.early_aborted
         return list(endorsed), []
 
     def _validate_and_commit(self, endorsed: list[EndorsedTx]) -> None:
         order, pre_aborted = self._apply_reorder(endorsed)
+        if self.reorder is not None:
+            uids = [self._uid_of.pop(entry.tx.tx_id) for entry in endorsed]
+            self._constraint_index.seal(self._seals.decide(uids))
         for victim in pre_aborted:
             reason = "business_rule" if not victim.ok else "reorder_victim"
             self._mark_aborted(victim.tx, reason)

@@ -7,11 +7,21 @@ building blocks every architecture in ``repro.core`` composes:
 * a smart-contract registry with read/write-set capture,
 * the serial executor used by order-execute (OX) systems,
 * the dependency-graph parallel executor used by OXII (ParBlockchain),
+* incremental per-key conflict indexes feeding the OXII dependency
+  graphs, the reorderers' constraint analysis, and the sharded systems'
+  lock tables,
 * MVCC endorsement/validation used by XOV (Fabric),
 * the Fabric++ / FabricSharp block-reordering algorithms,
+* the pipelined block-validation timeline (FastFabric-style overlap),
 * the XOX post-order re-execution step.
 """
 
+from repro.execution.conflict_index import (
+    BlockConflictIndex,
+    ConstraintIndex,
+    KeyLockIndex,
+    SealTracker,
+)
 from repro.execution.contracts import ContractContext, ContractRegistry
 from repro.execution.endorsement import (
     And,
@@ -27,11 +37,15 @@ from repro.execution.endorsement import (
 from repro.execution.depgraph import (
     DependencyGraph,
     build_dependency_graph,
+    schedule_multi_enterprise,
+    schedule_parallel,
     schedule_waves,
 )
 from repro.execution.mvcc import EndorsedTx, endorse, validate_endorsement
+from repro.execution.pipeline import ExecutionPipeline
 from repro.execution.reorder import (
     ReorderOutcome,
+    partition_endorsed,
     reorder_fabricpp,
     reorder_fabricsharp,
 )
@@ -41,18 +55,23 @@ from repro.execution.serial import SerialExecutionReport, execute_block_serially
 
 __all__ = [
     "And",
+    "BlockConflictIndex",
+    "ConstraintIndex",
     "ContractContext",
     "ContractRegistry",
     "DependencyGraph",
     "EndorsedTx",
     "EndorsementPolicy",
     "EndorsingPeerGroup",
+    "ExecutionPipeline",
     "KOutOf",
+    "KeyLockIndex",
     "Or",
     "Org",
     "RWSet",
     "ReexecutionReport",
     "ReorderOutcome",
+    "SealTracker",
     "SerialExecutionReport",
     "all_of",
     "any_of",
@@ -61,9 +80,12 @@ __all__ = [
     "execute_block_serially",
     "execute_with_capture",
     "majority_of",
+    "partition_endorsed",
     "reexecute_invalidated",
     "reorder_fabricpp",
     "reorder_fabricsharp",
+    "schedule_multi_enterprise",
+    "schedule_parallel",
     "schedule_waves",
     "validate_endorsement",
 ]

@@ -9,7 +9,16 @@ which is why OXII can build the graph before execution.
 Two schedulers are provided: :func:`schedule_waves` (topological levels,
 easy to reason about) and :func:`schedule_parallel` (event-driven list
 scheduling on a fixed executor pool, the makespan model used by the
-benchmarks).
+benchmarks). Everything on this path is linear in vertices + edges:
+:meth:`DependencyGraph.waves` is one forward pass (Kahn-style level
+propagation over the stored successors), predecessors and adjacency are
+computed once and cached, and the schedulers keep executor lanes in
+heaps instead of rebuilding per-step sets.
+
+Per-block graphs are built incrementally by
+:class:`~repro.execution.conflict_index.BlockConflictIndex`;
+:func:`build_dependency_graph` remains as the one-shot form (it streams
+the block through a fresh index).
 """
 
 from __future__ import annotations
@@ -29,10 +38,20 @@ class DependencyGraph:
     edge direction follows block order, so the graph is acyclic by
     construction and any schedule respecting it is equivalent to serial
     execution in block order.
+
+    Derived views (:meth:`predecessors`, :meth:`sorted_successors`,
+    :meth:`indegrees`, :meth:`waves`) are cached on first use; the graph
+    is treated as frozen once any of them is computed.
     """
 
     txs: list[Transaction]
     successors: dict[int, set[int]] = field(default_factory=dict)
+    _preds: dict[int, set[int]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _adjacency: tuple[tuple[int, ...], ...] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         for i in range(len(self.txs)):
@@ -43,54 +62,77 @@ class DependencyGraph:
         return sum(len(s) for s in self.successors.values())
 
     def predecessors(self) -> dict[int, set[int]]:
-        preds: dict[int, set[int]] = {i: set() for i in range(len(self.txs))}
-        for i, succs in self.successors.items():
+        """Reverse adjacency, computed once and cached."""
+        if self._preds is None:
+            preds: dict[int, set[int]] = {i: set() for i in range(len(self.txs))}
+            for i, succs in self.successors.items():
+                for j in succs:
+                    preds[j].add(i)
+            self._preds = preds
+        return self._preds
+
+    def sorted_successors(self) -> tuple[tuple[int, ...], ...]:
+        """Successor lists in ascending order, computed once and cached
+        (the schedulers' inner loop; avoids a sort per scheduling step)."""
+        if self._adjacency is None:
+            self._adjacency = tuple(
+                tuple(sorted(self.successors[i])) for i in range(len(self.txs))
+            )
+        return self._adjacency
+
+    def indegrees(self) -> list[int]:
+        """Fresh per-vertex predecessor counts (callers mutate them)."""
+        counts = [0] * len(self.txs)
+        for succs in self.successors.values():
             for j in succs:
-                preds[j].add(i)
-        return preds
+                counts[j] += 1
+        return counts
 
     def waves(self) -> list[list[int]]:
         """Topological levels: wave k holds txs whose longest dependency
-        chain has length k. Txs within a wave are mutually conflict-free."""
-        level: dict[int, int] = {}
-        for i in range(len(self.txs)):  # indices are already topological
-            preds = [p for p, succs in self.successors.items() if i in succs]
-            level[i] = 1 + max((level[p] for p in preds), default=-1)
-        result: list[list[int]] = [[] for _ in range(max(level.values(), default=-1) + 1)]
-        for i, lvl in level.items():
-            result[lvl].append(i)
+        chain has length k. Txs within a wave are mutually conflict-free.
+
+        One forward pass over the stored successors — indices are
+        already topological, so each vertex's level is final before its
+        out-edges are relaxed: O(V + E), not O(V²).
+        """
+        n = len(self.txs)
+        level = [0] * n
+        depth = 0
+        for i in range(n):
+            base = level[i] + 1
+            for j in self.successors[i]:
+                if level[j] < base:
+                    level[j] = base
+            if level[i] > depth:
+                depth = level[i]
+        result: list[list[int]] = [[] for _ in range(depth + 1 if n else 0)]
+        for i in range(n):
+            result[level[i]].append(i)
         return result
 
 
 def build_dependency_graph(txs: list[Transaction]) -> DependencyGraph:
     """Edges between conflicting transactions, directed by block order.
 
-    Uses per-key access lists instead of all-pairs comparison, so the
-    cost is proportional to actual conflicts rather than O(n^2) keys.
+    One-shot form of the incremental path: streams the block through a
+    fresh :class:`~repro.execution.conflict_index.BlockConflictIndex`,
+    so the cost is proportional to actual conflicts rather than O(n²)
+    key comparisons. Systems that see transactions arrive one at a time
+    (``repro.core.oxii``) keep a persistent index instead and pay only
+    the new transaction's edges.
     """
-    graph = DependencyGraph(txs=list(txs))
-    writers: dict[str, list[int]] = {}
-    readers: dict[str, list[int]] = {}
-    for i, tx in enumerate(txs):
+    from repro.execution.conflict_index import BlockConflictIndex
+
+    index = BlockConflictIndex()
+    uids = []
+    for tx in txs:
         if not tx.declared_ops:
             raise ExecutionError(
                 f"OXII requires declared operations; tx {tx.tx_id} has none"
             )
-        for key in tx.write_keys:
-            # write-write and read-write against all earlier accessors
-            for earlier in writers.get(key, ()):
-                graph.successors[earlier].add(i)
-            for earlier in readers.get(key, ()):
-                graph.successors[earlier].add(i)
-            writers.setdefault(key, []).append(i)
-        for key in tx.read_keys:
-            for earlier in writers.get(key, ()):
-                if earlier != i:
-                    graph.successors[earlier].add(i)
-            readers.setdefault(key, []).append(i)
-    for i in graph.successors:
-        graph.successors[i].discard(i)
-    return graph
+        uids.append(index.ingest(tx.read_keys, tx.write_keys))
+    return index.graph_for(uids, list(txs))
 
 
 def schedule_waves(graph: DependencyGraph, costs: list[float]) -> float:
@@ -115,8 +157,8 @@ def schedule_parallel(
     n = len(graph.txs)
     if n == 0:
         return 0.0, []
-    preds = graph.predecessors()
-    remaining = {i: len(preds[i]) for i in range(n)}
+    adjacency = graph.sorted_successors()
+    remaining = graph.indegrees()
     ready = [i for i in range(n) if remaining[i] == 0]
     heapq.heapify(ready)
     # (finish_time, tx_index) heap of running transactions.
@@ -133,7 +175,7 @@ def schedule_parallel(
         now = finish
         free += 1
         completion_order.append(tx_index)
-        for succ in sorted(graph.successors[tx_index]):
+        for succ in adjacency[tx_index]:
             remaining[succ] -= 1
             if remaining[succ] == 0:
                 heapq.heappush(ready, succ)
@@ -146,6 +188,7 @@ def schedule_multi_enterprise(
     owners: list[str],
     executors_per_enterprise: int,
     cross_enterprise_latency: float = 0.002,
+    pools: dict[str, int] | None = None,
 ) -> tuple[float, list[int]]:
     """ParBlockchain's multi-enterprise execution model.
 
@@ -153,12 +196,16 @@ def schedule_multi_enterprise(
     executor nodes where the transactions of each enterprise are
     executed by the corresponding executor nodes" (paper section 2.3.3).
 
-    Each enterprise owns a pool of ``executors_per_enterprise`` lanes and
-    executes only its own transactions. A dependency edge between
-    transactions of *different* enterprises additionally pays
-    ``cross_enterprise_latency`` — the producing executor must ship the
-    updated state to the consuming enterprise's executors before the
-    successor may start. Returns ``(makespan, completion_order)``.
+    Each enterprise owns a pool of ``executors_per_enterprise`` lanes
+    (override per enterprise with ``pools``, a mapping from enterprise
+    to lane count — its iteration order is irrelevant, lanes are only
+    ever looked up by owner) and executes only its own transactions. A
+    dependency edge between transactions of *different* enterprises
+    additionally pays ``cross_enterprise_latency`` — the producing
+    executor must ship the updated state to the consuming enterprise's
+    executors before the successor may start. Lane availability is kept
+    in a per-enterprise heap (O(log lanes) per claim, no per-step
+    scans). Returns ``(makespan, completion_order)``.
     """
     if executors_per_enterprise < 1:
         raise ExecutionError("need at least one executor per enterprise")
@@ -167,18 +214,27 @@ def schedule_multi_enterprise(
         return 0.0, []
     if len(owners) != n or len(costs) != n:
         raise ExecutionError("owners and costs must match the tx count")
-    preds = graph.predecessors()
-    remaining = {i: len(preds[i]) for i in range(n)}
+    if pools is not None:
+        missing = sorted(set(owners) - set(pools))
+        if missing:
+            raise ExecutionError(f"no executor pool for enterprises {missing}")
+        if any(lanes < 1 for lanes in pools.values()):
+            raise ExecutionError("need at least one executor per enterprise")
+    adjacency = graph.sorted_successors()
+    remaining = graph.indegrees()
     # earliest moment tx i's inputs are available at its enterprise.
-    ready_at = {i: 0.0 for i in range(n)}
+    ready_at = [0.0] * n
     # (ready_time, tx_index) of schedulable transactions.
     ready: list[tuple[float, int]] = [
         (0.0, i) for i in range(n) if remaining[i] == 0
     ]
     heapq.heapify(ready)
+    # min-heap of lane free times per enterprise.
     pool_free: dict[str, list[float]] = {}
     for owner in owners:
-        pool_free.setdefault(owner, [0.0] * executors_per_enterprise)
+        if owner not in pool_free:
+            lanes = pools[owner] if pools is not None else executors_per_enterprise
+            pool_free[owner] = [0.0] * lanes
     running: list[tuple[float, int]] = []
     completion_order: list[int] = []
     makespan = 0.0
@@ -186,20 +242,22 @@ def schedule_multi_enterprise(
         if ready:
             ready_time, tx_index = heapq.heappop(ready)
             lanes = pool_free[owners[tx_index]]
-            lane = min(range(len(lanes)), key=lanes.__getitem__)
-            start = max(ready_time, lanes[lane])
+            lane_free = heapq.heappop(lanes)
+            start = max(ready_time, lane_free)
             finish = start + costs[tx_index]
-            lanes[lane] = finish
+            heapq.heappush(lanes, finish)
             heapq.heappush(running, (finish, tx_index))
             continue
         finish, tx_index = heapq.heappop(running)
         makespan = max(makespan, finish)
         completion_order.append(tx_index)
-        for succ in sorted(graph.successors[tx_index]):
+        owner = owners[tx_index]
+        for succ in adjacency[tx_index]:
             handoff = finish
-            if owners[succ] != owners[tx_index]:
+            if owners[succ] != owner:
                 handoff += cross_enterprise_latency
-            ready_at[succ] = max(ready_at[succ], handoff)
+            if handoff > ready_at[succ]:
+                ready_at[succ] = handoff
             remaining[succ] -= 1
             if remaining[succ] == 0:
                 heapq.heappush(ready, (ready_at[succ], succ))

@@ -22,19 +22,34 @@ so some must abort. The two systems differ in how they pick the victims:
   set exactly for small components, falling back to the greedy heuristic
   for large ones. FabricSharp therefore never aborts more than Fabric++
   on the same block — the relationship the paper asserts.
+
+Constraint edges are normally served by the system's persistent
+:class:`~repro.execution.conflict_index.ConstraintIndex` (built
+incrementally at endorsement time); pass ``edge_fn`` to supply them.
+Without it, :func:`_constraint_edges` rebuilds them from the block — the
+one-shot form used by direct API callers and tests.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from itertools import combinations
+from typing import Callable
 
 from repro.execution.mvcc import EndorsedTx
 from repro.ledger.store import StateStore
 
 #: Components larger than this use the greedy heuristic instead of the
-#: exact minimum-feedback-vertex-set search (which is exponential).
-_EXACT_FVS_LIMIT = 12
+#: exact minimum-feedback-vertex-set search. The exact search is a
+#: size-ordered (iterative-deepening) lexicographic DFS that prunes any
+#: branch whose every extension is already known infeasible — vastly
+#: smaller than the brute-force subset sweep it replaced, which capped
+#: the limit at 12.
+_EXACT_FVS_LIMIT = 20
+
+#: Mapping a list of endorsed transactions to their constraint edges
+#: (local indices). Plugged by the incremental index; defaults to the
+#: from-scratch rebuild.
+EdgeFn = Callable[[list[EndorsedTx]], dict[int, set[int]]]
 
 
 @dataclass
@@ -48,6 +63,17 @@ class ReorderOutcome:
     @property
     def survivors(self) -> int:
         return len(self.order)
+
+
+def partition_endorsed(
+    txs: list[EndorsedTx],
+) -> tuple[list[EndorsedTx], list[EndorsedTx]]:
+    """Split a block into (endorsement-ok, endorsement-failed)."""
+    usable: list[EndorsedTx] = []
+    failed: list[EndorsedTx] = []
+    for endorsed in txs:
+        (usable if endorsed.ok else failed).append(endorsed)
+    return usable, failed
 
 
 def _constraint_edges(txs: list[EndorsedTx]) -> dict[int, set[int]]:
@@ -151,27 +177,84 @@ def _greedy_victims(component: list[int], edges: dict[int, set[int]]) -> set[int
 
 
 def _minimum_victims(component: list[int], edges: dict[int, set[int]]) -> set[int]:
-    """Exact minimum feedback vertex set by subset enumeration."""
+    """Exact minimum feedback vertex set, smallest-size-first.
+
+    Equivalent to sweeping ``itertools.combinations`` in size order and
+    returning the first (lexicographically smallest) acyclifying subset,
+    but as a DFS that prunes every branch whose *maximal* extension —
+    the partial choice plus all remaining candidates — still leaves a
+    cycle: supersets drawn from a known-infeasible candidate pool can
+    never become feasible, so whole subtrees of the subset lattice are
+    skipped instead of enumerated.
+    """
     nodes = set(component)
+    order = sorted(component)
+    n = len(order)
+
+    def search(size: int) -> set[int] | None:
+        chosen: list[int] = []
+
+        def dfs(pos: int, budget: int) -> set[int] | None:
+            if budget == 0:
+                removed = set(chosen)
+                return removed if _is_acyclic_subset(nodes - removed, edges) else None
+            if n - pos < budget:
+                return None
+            # Prune: if removing the partial choice AND every remaining
+            # candidate still leaves a cycle, no extension is feasible.
+            if not _is_acyclic_subset(
+                nodes.difference(chosen).difference(order[pos:]), edges
+            ):
+                return None
+            for i in range(pos, n - budget + 1):
+                chosen.append(order[i])
+                found = dfs(i + 1, budget - 1)
+                if found is not None:
+                    return found
+                chosen.pop()
+            return None
+
+        return dfs(0, size)
+
     for size in range(1, len(component)):
-        for subset in combinations(sorted(component), size):
-            if _is_acyclic_subset(nodes - set(subset), edges):
-                return set(subset)
+        found = search(size)
+        if found is not None:
+            return found
     return nodes - {min(component)}
+
+
+def _reorder(
+    txs: list[EndorsedTx],
+    exact_small_components: bool,
+    edge_fn: EdgeFn | None = None,
+    exact_limit: int | None = None,
+) -> tuple[list[int], set[int]]:
+    edges = (edge_fn or _constraint_edges)(txs)
+    limit = _EXACT_FVS_LIMIT if exact_limit is None else exact_limit
+    victims: set[int] = set()
+    for component in _tarjan_sccs(edges):
+        if len(component) == 1:
+            continue
+        if exact_small_components and len(component) <= limit:
+            victims |= _minimum_victims(component, edges)
+        else:
+            victims |= _greedy_victims(component, edges)
+    alive = [i for i in range(len(txs)) if i not in victims]
+    return _topological_order(alive, edges), victims
 
 
 def _topological_order(
     alive: list[int], edges: dict[int, set[int]]
 ) -> list[int]:
     """Deterministic topological order of the surviving constraint graph."""
+    import heapq
+
     alive_set = set(alive)
     indeg = {n: 0 for n in alive}
     for n in alive:
         for succ in edges[n]:
             if succ in alive_set:
                 indeg[succ] += 1
-    import heapq
-
     ready = [n for n in alive if indeg[n] == 0]
     heapq.heapify(ready)
     order: list[int] = []
@@ -184,23 +267,6 @@ def _topological_order(
                 if indeg[succ] == 0:
                     heapq.heappush(ready, succ)
     return order
-
-
-def _reorder(
-    txs: list[EndorsedTx], exact_small_components: bool
-) -> tuple[list[int], set[int]]:
-    edges = _constraint_edges(txs)
-    victims: set[int] = set()
-    for component in _tarjan_sccs(edges):
-        if len(component) == 1:
-            continue
-        use_exact = exact_small_components and len(component) <= _EXACT_FVS_LIMIT
-        if use_exact:
-            victims |= _minimum_victims(component, edges)
-        else:
-            victims |= _greedy_victims(component, edges)
-    alive = [i for i in range(len(txs)) if i not in victims]
-    return _topological_order(alive, edges), victims
 
 
 def early_abort_stale(
@@ -224,23 +290,35 @@ def early_abort_stale(
     return fresh, doomed
 
 
-def reorder_fabricpp(txs: list[EndorsedTx]) -> ReorderOutcome:
+def reorder_fabricpp(
+    txs: list[EndorsedTx], edge_fn: EdgeFn | None = None
+) -> ReorderOutcome:
     """Fabric++ reordering: greedy cycle-breaking, then topological order."""
-    usable = [t for t in txs if t.ok]
-    failed = [t for t in txs if not t.ok]
-    order, victims = _reorder(usable, exact_small_components=False)
+    usable, failed = partition_endorsed(txs)
+    order, victims = _reorder(
+        usable, exact_small_components=False, edge_fn=edge_fn
+    )
     return ReorderOutcome(
         order=[usable[i] for i in order],
         aborted=[usable[i] for i in sorted(victims)] + failed,
     )
 
 
-def reorder_fabricsharp(txs: list[EndorsedTx], store: StateStore) -> ReorderOutcome:
+def reorder_fabricsharp(
+    txs: list[EndorsedTx],
+    store: StateStore,
+    edge_fn: EdgeFn | None = None,
+    exact_limit: int | None = None,
+) -> ReorderOutcome:
     """FabricSharp: early-abort doomed txs, then minimal-abort reordering."""
-    usable = [t for t in txs if t.ok]
-    failed = [t for t in txs if not t.ok]
+    usable, failed = partition_endorsed(txs)
     fresh, doomed = early_abort_stale(usable, store)
-    order, victims = _reorder(fresh, exact_small_components=True)
+    order, victims = _reorder(
+        fresh,
+        exact_small_components=True,
+        edge_fn=edge_fn,
+        exact_limit=exact_limit,
+    )
     return ReorderOutcome(
         order=[fresh[i] for i in order],
         aborted=[fresh[i] for i in sorted(victims)] + failed,

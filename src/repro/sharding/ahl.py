@@ -174,10 +174,10 @@ class AhlSystem(ShardedSystem):
             for op in tx.declared_ops
             if self.shard_of_key(op.key) == shard
         }
-        ok = not (touched & set(self._locks[shard]))
+        locks = self._locks[shard]
+        ok = not locks.conflicts(touched)
         if ok:
-            for key in touched:
-                self._locks[shard][key] = tx.tx_id
+            locks.acquire(touched, tx.tx_id)
         self.ports[shard].send(
             "refcom-port", Vote(tx_id=tx.tx_id, shard=shard, ok=ok)
         )
@@ -187,9 +187,7 @@ class AhlSystem(ShardedSystem):
             writes = self._cross_writes.get(tx.tx_id, {})
             self.apply_writes(shard, writes)
             self.append_to_ledger(shard, tx)
-        for key, holder in list(self._locks[shard].items()):
-            if holder == tx.tx_id:
-                del self._locks[shard][key]
+        self._locks[shard].release(tx.tx_id)
         self.ports[shard].send("refcom-port", Done(tx_id=tx.tx_id, shard=shard))
 
     # -- reference committee -----------------------------------------------------------

@@ -21,6 +21,7 @@ from repro.common.errors import ConfigError, ValidationError
 from repro.common.metrics import RunResult
 from repro.common.types import Transaction, TxType
 from repro.consensus import PROTOCOLS, ConsensusCluster
+from repro.execution.conflict_index import KeyLockIndex
 from repro.execution.contracts import ContractRegistry
 from repro.execution.rwsets import RWSet, execute_with_capture
 from repro.ledger.chain import Blockchain
@@ -122,7 +123,11 @@ class ShardedSystem:
         self._cross_ids: set[str] = set()
         self._aborted: dict[str, str] = {}
         self._pending: list[Transaction] = []
-        self._locks: dict[str, dict[str, str]] = {s: {} for s in self.shards}
+        # Per-shard no-wait lock tables: conflict probes are O(keys
+        # touched), release O(keys held) — no per-tx table scans.
+        self._locks: dict[str, KeyLockIndex] = {
+            s: KeyLockIndex() for s in self.shards
+        }
         self._exec_free: dict[str, float] = {s: 0.0 for s in self.shards}
         self._ran = False
 
@@ -208,7 +213,7 @@ class ShardedSystem:
 
         def finish() -> None:
             touched = {op.key for op in tx.declared_ops}
-            if touched & set(self._locks[shard]):
+            if self._locks[shard].conflicts(touched):
                 self.abort(tx, "lock_conflict")
                 return
             rwset = self.execute_on_shards(tx, [shard])

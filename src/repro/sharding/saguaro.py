@@ -164,10 +164,10 @@ class SaguaroSystem(ShardedSystem):
             for op in tx.declared_ops
             if self.shard_of_key(op.key) == shard
         }
-        ok = not (touched & set(self._locks[shard]))
+        locks = self._locks[shard]
+        ok = not locks.conflicts(touched)
         if ok:
-            for key in touched:
-                self._locks[shard][key] = tx.tx_id
+            locks.acquire(touched, tx.tx_id)
         coordinator = self._coordinator_of[tx.tx_id]
         self.ports[shard].send(
             f"{coordinator}-port", Vote(tx_id=tx.tx_id, shard=shard, ok=ok)
@@ -177,9 +177,7 @@ class SaguaroSystem(ShardedSystem):
         if commit:
             self.apply_writes(shard, self._cross_writes.get(tx.tx_id, {}))
             self.append_to_ledger(shard, tx)
-        for key, holder in list(self._locks[shard].items()):
-            if holder == tx.tx_id:
-                del self._locks[shard][key]
+        self._locks[shard].release(tx.tx_id)
         coordinator = self._coordinator_of[tx.tx_id]
         self.ports[shard].send(
             f"{coordinator}-port", Done(tx_id=tx.tx_id, shard=shard)

@@ -97,10 +97,10 @@ class SharPerSystem(ShardedSystem):
             for op in tx.declared_ops
             if self.shard_of_key(op.key) == shard
         }
-        ok = not (touched & set(self._locks[shard]))
+        locks = self._locks[shard]
+        ok = not locks.conflicts(touched)
         if ok:
-            for key in touched:
-                self._locks[shard][key] = tx.tx_id
+            locks.acquire(touched, tx.tx_id)
         initiator = min(tx.involved)
         self.ports[shard].send(
             f"{initiator}-port", CrossAck(tx_id=tx.tx_id, shard=shard, ok=ok)
@@ -149,6 +149,4 @@ class SharPerSystem(ShardedSystem):
             writes = getattr(self, "_cross_writes", {}).get(message.tx_id, {})
             self.apply_writes(shard, writes)
             self.append_to_ledger(shard, tx)
-        for key, holder in list(self._locks[shard].items()):
-            if holder == message.tx_id:
-                del self._locks[shard][key]
+        self._locks[shard].release(message.tx_id)

@@ -1,0 +1,192 @@
+"""Unit tests for the incremental conflict indexes.
+
+The contract under test: each index, fed read/write sets one at a time,
+must reproduce *exactly* the edges the from-scratch per-block analyses
+(`build_dependency_graph`'s conflict rules, `reorder._constraint_edges`)
+compute — including across seal boundaries, out-of-order block
+decisions, and arbitrary block slicings.
+"""
+
+import random
+
+import pytest
+
+from repro.common.types import Operation, OpType, Transaction
+from repro.execution.conflict_index import (
+    BlockConflictIndex,
+    ConstraintIndex,
+    KeyLockIndex,
+    SealTracker,
+)
+from repro.execution.contracts import standard_registry
+from repro.execution.depgraph import build_dependency_graph
+from repro.execution.mvcc import endorse
+from repro.execution.reorder import _constraint_edges
+from repro.ledger.store import StateStore
+
+
+def _random_rwsets(rng, count, n_keys=8):
+    """Random (read_keys, write_keys) frozenset pairs over a hot keyspace."""
+    keys = [f"k{i}" for i in range(n_keys)]
+    rwsets = []
+    for _ in range(count):
+        reads = frozenset(rng.sample(keys, rng.randint(0, 3)))
+        writes = frozenset(rng.sample(keys, rng.randint(0, 2)))
+        rwsets.append((reads, writes))
+    return rwsets
+
+
+def _naive_dependency_edges(rwsets):
+    """The OXII conflict rule, O(n²): edge i -> j (i < j) on ww/rw/wr."""
+    succ = {i: set() for i in range(len(rwsets))}
+    for j, (rj, wj) in enumerate(rwsets):
+        for i in range(j):
+            ri, wi = rwsets[i]
+            if (wi & wj) or (ri & wj) or (wi & rj):
+                succ[i].add(j)
+    return succ
+
+
+class TestBlockConflictIndex:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_naive_analysis_on_random_streams(self, seed):
+        rng = random.Random(seed)
+        rwsets = _random_rwsets(rng, 60)
+        index = BlockConflictIndex()
+        uids = [index.ingest(r, w) for r, w in rwsets]
+        graph = index.graph_for(uids, list(range(len(uids))))
+        assert graph.successors == _naive_dependency_edges(rwsets)
+
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_block_slices_match_per_block_rebuild(self, seed):
+        """Cutting blocks out of the stream (with sealing between them)
+        gives the same graph as rebuilding each block from scratch."""
+        rng = random.Random(seed)
+        rwsets = _random_rwsets(rng, 48)
+        index = BlockConflictIndex()
+        uids = [index.ingest(r, w) for r, w in rwsets]
+        for start in range(0, len(rwsets), 12):
+            block = list(range(start, start + 12))
+            graph = index.graph_for(block, block)
+            expected = _naive_dependency_edges(rwsets[start:start + 12])
+            assert graph.successors == expected
+            index.seal(start + 12)  # decided; prune the window
+
+    def test_matches_build_dependency_graph(self):
+        txs = [
+            Transaction.create(
+                "increment", (key,),
+                declared_ops=(Operation(OpType.READ_WRITE, key),),
+            )
+            for key in ("a", "b", "a", "c", "b", "a")
+        ]
+        index = BlockConflictIndex()
+        uids = [index.ingest(tx.read_keys, tx.write_keys) for tx in txs]
+        incremental = index.graph_for(uids, txs)
+        rebuilt = build_dependency_graph(txs)
+        assert incremental.successors == rebuilt.successors
+
+    def test_seal_drops_cross_boundary_edges_only(self):
+        index = BlockConflictIndex()
+        a = index.ingest(frozenset(), frozenset({"k"}))
+        index.seal(a + 1)
+        b = index.ingest(frozenset({"k"}), frozenset())
+        c = index.ingest(frozenset(), frozenset({"k"}))
+        graph = index.graph_for([b, c], [None, None])
+        # b reads k, c writes k: an edge within the live window; the
+        # sealed writer a contributes nothing.
+        assert graph.successors == {0: {1}, 1: set()}
+
+    def test_ingested_counts_stream_position(self):
+        index = BlockConflictIndex()
+        assert index.ingested == 0
+        index.ingest(frozenset({"x"}), frozenset())
+        index.ingest(frozenset(), frozenset({"x"}))
+        assert index.ingested == 2
+
+
+class TestConstraintIndex:
+    def _endorsed_stream(self, seed, count=40):
+        rng = random.Random(seed)
+        registry = standard_registry()
+        store = StateStore()
+        keys = [f"k{i}" for i in range(6)]
+        stream = []
+        for i in range(count):
+            key = rng.choice(keys)
+            roll = rng.random()
+            if roll < 0.4:
+                tx = Transaction.create("increment", (key,))
+            elif roll < 0.7:
+                tx = Transaction.create("kv_set", (key, i))
+            else:
+                tx = Transaction.create("kv_get", (key,))
+            stream.append(endorse(tx, store.snapshot(), registry))
+        return stream
+
+    @pytest.mark.parametrize("seed", [10, 11, 12, 13])
+    def test_matches_constraint_edges_on_blocks(self, seed):
+        stream = self._endorsed_stream(seed)
+        index = ConstraintIndex()
+        uids = [
+            index.ingest(e.rwset.read_keys, e.rwset.write_keys)
+            for e in stream
+        ]
+        for start in range(0, len(stream), 10):
+            block = stream[start:start + 10]
+            block_uids = uids[start:start + 10]
+            assert index.edges_among(block_uids) == _constraint_edges(block)
+            index.seal(start + 10)
+
+    def test_subset_lookup_matches_subset_rebuild(self):
+        """FabricSharp queries edges for the post-early-abort *subset*
+        of a block; the index must agree with a rebuild on that subset."""
+        stream = self._endorsed_stream(21, count=20)
+        index = ConstraintIndex()
+        uids = [
+            index.ingest(e.rwset.read_keys, e.rwset.write_keys)
+            for e in stream
+        ]
+        subset_positions = [0, 3, 4, 7, 11, 12, 18]
+        subset = [stream[i] for i in subset_positions]
+        subset_uids = [uids[i] for i in subset_positions]
+        assert index.edges_among(subset_uids) == _constraint_edges(subset)
+
+
+class TestSealTracker:
+    def test_contiguous_blocks_advance_boundary(self):
+        tracker = SealTracker()
+        assert tracker.decide([0, 1, 2]) == 3
+        assert tracker.decide([3, 4]) == 5
+
+    def test_out_of_order_decides_never_outrun_pending(self):
+        tracker = SealTracker()
+        assert tracker.decide([3, 4, 5]) == 0  # block 0 still pending
+        assert tracker.decide([0, 1, 2]) == 6  # gap closed: jump past both
+
+
+class TestKeyLockIndex:
+    def test_acquire_then_conflict_then_release(self):
+        locks = KeyLockIndex()
+        assert not locks.conflicts({"a", "b"})
+        locks.acquire({"a", "b"}, "tx1")
+        assert locks.conflicts({"b", "c"})
+        assert locks.holder("a") == "tx1"
+        assert len(locks) == 2 and "a" in locks
+        locks.release("tx1")
+        assert not locks.conflicts({"a", "b"})
+        assert len(locks) == 0
+
+    def test_release_of_unknown_holder_is_noop(self):
+        locks = KeyLockIndex()
+        locks.acquire({"a"}, "tx1")
+        locks.release("ghost")
+        assert locks.holder("a") == "tx1"
+
+    def test_independent_holders_coexist(self):
+        locks = KeyLockIndex()
+        locks.acquire({"a"}, "tx1")
+        locks.acquire({"b"}, "tx2")
+        locks.release("tx1")
+        assert not locks.conflicts({"a"})
+        assert locks.conflicts({"b"})

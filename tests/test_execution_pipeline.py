@@ -1,0 +1,336 @@
+"""Execution-layer overhaul tests: pipelined validation, linear waves,
+pruned exact FVS, and scheduler determinism.
+
+Three kinds of guarantee are pinned here:
+
+* *Identity* — the fast paths (linear ``waves()``, the pruned
+  minimum-feedback-vertex-set search, ``ExecutionPipeline`` at depth 1)
+  return exactly what the quadratic/brute-force forms they replaced
+  returned.
+* *Safety under pipelining* — with ``pipeline_depth > 1`` the XOV
+  family commits the same transaction set in the same block order, and
+  the ledger/serializability audits stay green even under crash and
+  partition faults.
+* *Performance floors* — a 5k-transaction block's wave decomposition
+  must stay far below the old O(n²) cost.
+"""
+
+import itertools
+import random
+import time
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.types import Operation, OpType, Transaction
+from repro.consensus.monitors import MONITOR_REGISTRY
+from repro.core import SYSTEMS, SystemConfig
+from repro.execution.contracts import standard_registry
+from repro.execution.depgraph import (
+    DependencyGraph,
+    build_dependency_graph,
+    schedule_multi_enterprise,
+)
+from repro.execution.mvcc import endorse
+from repro.execution.pipeline import ExecutionPipeline
+from repro.execution.reorder import (
+    _is_acyclic_subset,
+    _minimum_victims,
+    reorder_fabricpp,
+    reorder_fabricsharp,
+)
+from repro.execution.serial import verify_serializable_commit
+from repro.ledger.audit import verify_ledger_linkage
+from repro.ledger.store import StateStore
+from repro.sim.faults import FaultPlan
+
+
+def _rmw(key):
+    return Transaction.create(
+        "increment", (key,), declared_ops=(Operation(OpType.READ_WRITE, key),)
+    )
+
+
+class TestExecutionPipeline:
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            ExecutionPipeline(depth=0)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_depth_one_is_the_serial_timeline(self, seed):
+        """Depth 1 must be byte-identical to the single free-at float it
+        replaced — the contract that keeps modelled rows frozen."""
+        rng = random.Random(seed)
+        pipe = ExecutionPipeline(depth=1)
+        free_at = 0.0
+        now = 0.0
+        for _ in range(200):
+            now += rng.random() * 0.01
+            duration = rng.random() * 0.02
+            start = max(now, free_at)
+            free_at = start + duration
+            assert pipe.claim(now, duration) == free_at
+
+    def test_deeper_pipeline_overlaps_but_stays_monotone(self):
+        pipe = ExecutionPipeline(depth=3)
+        done = [pipe.claim(0.0, 1.0), pipe.claim(0.0, 1.0), pipe.claim(0.0, 1.0)]
+        # Three claims overlap on three lanes: all complete at t=1.
+        assert done == [1.0, 1.0, 1.0]
+        # The fourth waits for a lane, and completion never regresses.
+        assert pipe.claim(0.0, 0.1) == pytest.approx(1.1)
+        assert pipe.claim(0.0, 0.0) == pytest.approx(1.1)
+
+    def test_short_block_after_long_block_finishes_no_earlier(self):
+        pipe = ExecutionPipeline(depth=2)
+        long_done = pipe.claim(0.0, 5.0)
+        short_done = pipe.claim(0.0, 0.1)
+        assert short_done >= long_done  # commit order preserved
+
+
+class TestLinearWaves:
+    def _naive_waves(self, graph):
+        """The old quadratic decomposition: peel zero-indegree layers."""
+        preds = {
+            j: {i for i, succs in graph.successors.items() if j in succs}
+            for j in range(len(graph.txs))
+        }
+        remaining = set(range(len(graph.txs)))
+        waves = []
+        while remaining:
+            wave = sorted(
+                i for i in remaining if not (preds[i] & remaining)
+            )
+            waves.append(wave)
+            remaining -= set(wave)
+        return waves
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_matches_layer_peeling_on_random_dags(self, seed):
+        rng = random.Random(seed)
+        n = 40
+        successors = {
+            i: {j for j in range(i + 1, n) if rng.random() < 0.15}
+            for i in range(n)
+        }
+        graph = DependencyGraph(txs=[None] * n, successors=successors)
+        assert graph.waves() == self._naive_waves(graph)
+
+    def test_empty_graph_has_no_waves(self):
+        assert DependencyGraph(txs=[], successors={}).waves() == []
+
+    @pytest.mark.perf
+    def test_5k_tx_block_waves_under_ceiling(self):
+        """Regression gate for the O(n²) waves() this PR removed: a
+        5000-tx block with chain + random edges must decompose in linear
+        time. The old implementation rescanned every pending tx per
+        wave (~25M set probes here); the ceiling gives the linear pass
+        ~20x headroom while any quadratic revival busts it."""
+        rng = random.Random(99)
+        n = 5_000
+        successors = {i: set() for i in range(n)}
+        for i in range(n - 1):
+            if rng.random() < 0.5:
+                successors[i].add(i + 1)  # chain pieces -> many waves
+            for _ in range(2):
+                j = rng.randint(i + 1, n - 1)
+                successors[i].add(j)
+        graph = DependencyGraph(txs=[None] * n, successors=successors)
+        start = time.perf_counter()
+        waves = graph.waves()
+        wall = time.perf_counter() - start
+        assert sum(len(w) for w in waves) == n
+        assert wall < 1.0, (
+            f"waves() on a 5k-tx block took {wall:.2f}s — "
+            "the linear decomposition has regressed toward O(n²)"
+        )
+
+
+class TestPrunedExactFvs:
+    def _brute_force(self, component, edges):
+        """The replaced implementation: lex-ordered combinations sweep."""
+        nodes = set(component)
+        for size in range(1, len(component)):
+            for combo in itertools.combinations(sorted(component), size):
+                if _is_acyclic_subset(nodes - set(combo), edges):
+                    return set(combo)
+        return nodes - {min(component)}
+
+    @pytest.mark.parametrize("seed", list(range(12)))
+    def test_matches_brute_force_on_random_digraphs(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 8)
+        edges = {
+            i: {j for j in range(n) if j != i and rng.random() < 0.35}
+            for i in range(n)
+        }
+        component = list(range(n))
+        assert _minimum_victims(component, edges) == self._brute_force(
+            component, edges
+        )
+
+    def test_large_cycle_is_tractable(self):
+        """An 18-cycle sits above the old brute-force limit (12) and
+        would need C(18, k) sweeps; the pruned search solves it fast."""
+        n = 18
+        edges = {i: {(i + 1) % n} for i in range(n)}
+        start = time.perf_counter()
+        victims = _minimum_victims(list(range(n)), edges)
+        assert victims == {0}  # one vertex breaks a simple cycle; lex-first
+        assert time.perf_counter() - start < 1.0
+
+    @pytest.mark.parametrize("seed", [31, 32, 33, 34])
+    def test_fabricsharp_never_aborts_more_than_fabricpp(self, seed):
+        """The paper's claim, as a randomized property: FabricSharp's
+        exact minimal-abort reordering (now with the raised component
+        limit) never kills more transactions than Fabric++'s greedy
+        heuristic on the same block."""
+        rng = random.Random(seed)
+        registry = standard_registry()
+        store = StateStore()
+        keys = [f"k{i}" for i in range(4)]
+        block = [
+            endorse(
+                Transaction.create("increment", (rng.choice(keys),)),
+                store.snapshot(),
+                registry,
+            )
+            for _ in range(24)
+        ]
+        pp = reorder_fabricpp(block)
+        sharp = reorder_fabricsharp(block, store)
+        assert (
+            len(sharp.aborted) + len(sharp.early_aborted) <= len(pp.aborted)
+        )
+        assert sharp.survivors >= pp.survivors
+
+
+class TestMultiEnterpriseDeterminism:
+    def _graph_and_costs(self, seed=17, n=30):
+        rng = random.Random(seed)
+        keys = [f"k{i}" for i in range(6)]
+        txs = [_rmw(rng.choice(keys)) for _ in range(n)]
+        graph = build_dependency_graph(txs)
+        costs = [0.001 + rng.random() * 0.004 for _ in range(n)]
+        owners = [f"org{rng.randint(0, 2)}" for _ in range(n)]
+        return graph, costs, owners
+
+    def test_shuffled_pool_dict_order_changes_nothing(self):
+        """Same seed, same pools, different dict insertion order →
+        identical makespan and identical completion order."""
+        graph, costs, owners = self._graph_and_costs()
+        pool_sizes = {"org0": 2, "org1": 3, "org2": 1}
+        baseline = None
+        for ordering in itertools.permutations(pool_sizes):
+            pools = {org: pool_sizes[org] for org in ordering}
+            outcome = schedule_multi_enterprise(
+                graph, costs, owners, 2, pools=pools
+            )
+            if baseline is None:
+                baseline = outcome
+            assert outcome == baseline
+
+    def test_pools_must_cover_every_enterprise(self):
+        from repro.common.errors import ExecutionError
+
+        graph, costs, owners = self._graph_and_costs()
+        with pytest.raises(ExecutionError):
+            schedule_multi_enterprise(
+                graph, costs, owners, 2, pools={"org0": 2}
+            )
+
+    def test_uniform_pools_match_default(self):
+        graph, costs, owners = self._graph_and_costs(seed=23)
+        default = schedule_multi_enterprise(graph, costs, owners, 2)
+        explicit = schedule_multi_enterprise(
+            graph, costs, owners, 2,
+            pools={org: 2 for org in sorted(set(owners))},
+        )
+        assert default == explicit
+
+
+def _contended_workload(n=120, seed=7):
+    rng = random.Random(seed)
+    keys = [f"k{i}" for i in range(10)]
+    txs = []
+    for i in range(n):
+        key = rng.choice(keys)
+        if rng.random() < 0.5:
+            txs.append(Transaction.create(
+                "kv_set", (key, i),
+                declared_ops=(Operation(OpType.WRITE, key),),
+            ))
+        else:
+            txs.append(Transaction.create(
+                "increment", (key,),
+                declared_ops=(Operation(OpType.READ_WRITE, key),),
+            ))
+    return txs
+
+
+def _run_system(name, depth, txs, **config_kwargs):
+    system = SYSTEMS[name](SystemConfig(
+        block_size=20, seed=11, pipeline_depth=depth, **config_kwargs
+    ))
+    for tx in txs:
+        system.submit(tx)
+    result = system.run()
+    return system, result
+
+
+class TestPipelinedValidation:
+    @pytest.mark.parametrize("name", ["xov", "fastfabric", "fabricpp"])
+    def test_deeper_pipeline_commits_the_same_set(self, name):
+        txs = _contended_workload()
+        base_system, base = _run_system(name, 1, txs)
+        piped_system, piped = _run_system(name, 3, txs)
+        assert piped_system.committed_tx_ids() == base_system.committed_tx_ids()
+        assert piped.committed == base.committed
+        # Block content and order are unchanged — only timing overlaps.
+        assert [
+            [tx.tx_id for tx in block.transactions]
+            for block in piped_system.ledger
+        ] == [
+            [tx.tx_id for tx in block.transactions]
+            for block in base_system.ledger
+        ]
+        assert piped.duration <= base.duration + 1e-9
+
+    def test_pipelined_ledger_passes_audits(self):
+        system, _ = _run_system("fabricsharp", 4, _contended_workload(seed=8))
+        committed = system.committed_tx_ids()
+        assert verify_ledger_linkage(system.ledger, committed) == []
+        assert verify_serializable_commit(
+            system.ledger, system.store, system.registry, committed
+        ) == []
+
+    @pytest.mark.parametrize("name", ["fastfabric", "fabricpp"])
+    def test_monitors_green_under_crash_and_partition(self, name):
+        """The acceptance regime: pipeline_depth > 1 with a replica
+        crash and a partition window must keep the consensus monitors,
+        ledger linkage, and the serializability audit all green."""
+        txs = _contended_workload(n=80, seed=9)
+        system = SYSTEMS[name](SystemConfig(
+            block_size=10, seed=13, pipeline_depth=2, max_time=120.0,
+        ))
+        monitors = [
+            MONITOR_REGISTRY[m]()
+            for m in ("prefix-consistency", "conflicting-commit")
+        ]
+        for monitor in monitors:
+            system.cluster.add_monitor(monitor)
+        replicas = system.cluster.config.replica_ids
+        victim = replicas[-1]
+        FaultPlan().crash(0.01, victim).recover(0.3, victim).partition_window(
+            0.4, 0.6, [replicas[:-1], replicas[-1:]]
+        ).apply(system.sim, system.cluster.network)
+        for tx in txs:
+            system.submit(tx)
+        result = system.run()
+        assert result.committed > 0
+        for monitor in monitors:
+            assert monitor.check(), monitor.violations
+        committed = system.committed_tx_ids()
+        assert verify_ledger_linkage(system.ledger, committed) == []
+        assert verify_serializable_commit(
+            system.ledger, system.store, system.registry, committed
+        ) == []
