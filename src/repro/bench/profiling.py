@@ -87,17 +87,22 @@ def top_hotspots(
 
 def hotpath_counters() -> dict[str, int]:
     """Current hot-path counters across subsystems, flattened as
-    ``store.*`` and ``merkle.*`` keys.
+    ``store.*``, ``merkle.*`` and ``exec.*`` keys.
 
     ``store.snapshot_entries_copied`` stays 0 for the copy-on-write
     store (only the eager baseline copies on snapshot) — benchmarks
     assert on exactly that to prove snapshots are O(1) in state size.
+    ``exec.wave_fallbacks`` counts waves the process-pool backend
+    degraded to inline execution (worker crash/timeout/verify failure);
+    benchmarks assert it stays 0 on healthy runs.
     """
     from repro.crypto.merkle import MERKLE_COUNTERS
+    from repro.execution.parallel_backend import EXEC_COUNTERS
     from repro.ledger.store import STORE_COUNTERS
 
     counters = {f"store.{k}": v for k, v in STORE_COUNTERS.items()}
     counters.update({f"merkle.{k}": v for k, v in MERKLE_COUNTERS.items()})
+    counters.update({f"exec.{k}": v for k, v in EXEC_COUNTERS.items()})
     return counters
 
 
@@ -105,7 +110,9 @@ def reset_hotpath_counters() -> None:
     """Zero the hot-path counters (and the Merkle caches) so a benchmark
     cell measures only its own work."""
     from repro.crypto.merkle import reset_merkle_caches
+    from repro.execution.parallel_backend import reset_exec_counters
     from repro.ledger.store import reset_store_counters
 
     reset_store_counters()
     reset_merkle_caches()
+    reset_exec_counters()

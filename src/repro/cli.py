@@ -88,6 +88,100 @@ def cmd_compare(args) -> None:
     print_table(rows, title=f"architectures at Zipf skew {args.skew}")
 
 
+def cmd_exec(args) -> int:
+    """One block through the serial engine and the process-pool backend.
+
+    Prints wall/modelled throughput side by side and verifies the two
+    paths commit identical transaction sets with identical effects (the
+    serial-oracle equivalence the backend enforces internally, plus an
+    end-state comparison here). Worker count comes from ``--workers``,
+    else $REPRO_BENCH_WORKERS (invalid values are rejected loudly).
+    """
+    from repro.execution import ParallelExecutor, resolve_workers
+    from repro.execution.contracts import standard_registry
+    from repro.execution.serial import execute_block_serially
+    from repro.ledger.block import Block, GENESIS_PREV_HASH
+    from repro.ledger.store import StateStore, Version
+
+    workers = resolve_workers(args.workers if args.workers else None)
+    if args.workload == "smallbank":
+        workload = SmallBankWorkload(
+            n_customers=max(2, args.txs // 5), seed=args.seed
+        )
+        registry_factory = smallbank_registry
+        setup = workload.setup_transactions()
+    else:
+        workload = KvWorkload(
+            n_keys=2 * args.txs, theta=args.skew, read_fraction=0.2,
+            rmw_fraction=0.6, seed=args.seed,
+        )
+        registry_factory = standard_registry
+        setup = []
+    txs = workload.generate(args.txs)
+    block = Block.create(
+        height=1, prev_hash=GENESIS_PREV_HASH, transactions=txs
+    )
+
+    def seeded_store() -> StateStore:
+        store = StateStore()
+        registry = registry_factory()
+        for index, tx in enumerate(setup):
+            from repro.execution.rwsets import execute_with_capture
+
+            rwset = execute_with_capture(registry, tx, store)
+            if rwset.ok:
+                store.apply_writes(rwset.writes, Version(0, index))
+        return store
+
+    import time as _time
+
+    serial_store = seeded_store()
+    start = _time.perf_counter()
+    serial = execute_block_serially(block, serial_store, registry_factory())
+    serial_wall = _time.perf_counter() - start
+
+    parallel_store = seeded_store()
+    with ParallelExecutor(
+        registry_factory(), parallel_store, workers
+    ) as executor:
+        report = executor.execute_block(block)
+
+    identical = serial_store.as_dict() == parallel_store.as_dict()
+    rows = [
+        {
+            "backend": "serial",
+            "workers": 1,
+            "waves": "-",
+            "wall_seconds": round(serial_wall, 4),
+            "wall_tps": round(len(txs) / serial_wall, 1)
+            if serial_wall > 0 else 0.0,
+            "committed": serial.committed,
+            "fallback_waves": 0,
+        },
+        {
+            "backend": report.backend,
+            "workers": report.workers,
+            "waves": report.n_waves,
+            "wall_seconds": round(report.wall_seconds, 4),
+            "wall_tps": round(report.wall_tps, 1),
+            "committed": report.committed,
+            "fallback_waves": report.fallback_waves,
+        },
+    ]
+    print_table(
+        rows,
+        title=f"{args.workload} block of {len(txs)} txs, "
+        f"{workers} worker(s)",
+    )
+    print(
+        "equivalence: oracle "
+        + ("OK" if report.oracle_matches else "MISMATCH")
+        + ", end state "
+        + ("identical" if identical else "DIVERGED")
+    )
+    return 0 if (report.oracle_matches and identical) else 1
+
+
 def cmd_consensus(args) -> None:
     rows = []
     for name in sorted(PROTOCOLS):
@@ -285,6 +379,23 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: $REPRO_BENCH_WORKERS, else serial)",
     )
     compare.set_defaults(fn=cmd_compare)
+
+    exec_p = sub.add_parser(
+        "exec",
+        help="execute one block on the multi-core process-pool backend "
+        "vs. the serial engine",
+    )
+    exec_p.add_argument("--txs", type=int, default=2000)
+    exec_p.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool size (default: $REPRO_BENCH_WORKERS, else 1)",
+    )
+    exec_p.add_argument(
+        "--workload", choices=("kv", "smallbank"), default="kv"
+    )
+    exec_p.add_argument("--skew", type=float, default=0.2)
+    exec_p.add_argument("--seed", type=int, default=0)
+    exec_p.set_defaults(fn=cmd_exec)
 
     consensus = sub.add_parser("consensus", help="compare the 6 protocols")
     consensus.add_argument("--n", type=int, default=4)

@@ -21,6 +21,7 @@ from repro.execution.conflict_index import (
     ConstraintIndex,
     KeyLockIndex,
     SealTracker,
+    wave_is_conflict_free,
 )
 from repro.execution.contracts import ContractContext, ContractRegistry
 from repro.execution.endorsement import (
@@ -37,9 +38,19 @@ from repro.execution.endorsement import (
 from repro.execution.depgraph import (
     DependencyGraph,
     build_dependency_graph,
+    partition_wave,
     schedule_multi_enterprise,
     schedule_parallel,
     schedule_waves,
+)
+from repro.execution.parallel_backend import (
+    ParallelExecutionReport,
+    ParallelExecutor,
+    RemoteContractRunner,
+    ReplicaStateView,
+    block_effects_digest,
+    execute_block_parallel,
+    resolve_workers,
 )
 from repro.execution.mvcc import EndorsedTx, endorse, validate_endorsement
 from repro.execution.pipeline import ExecutionPipeline
@@ -68,24 +79,33 @@ __all__ = [
     "KeyLockIndex",
     "Or",
     "Org",
+    "ParallelExecutionReport",
+    "ParallelExecutor",
     "RWSet",
     "ReexecutionReport",
+    "RemoteContractRunner",
     "ReorderOutcome",
+    "ReplicaStateView",
     "SealTracker",
     "SerialExecutionReport",
     "all_of",
     "any_of",
+    "block_effects_digest",
     "build_dependency_graph",
     "endorse",
+    "execute_block_parallel",
     "execute_block_serially",
     "execute_with_capture",
     "majority_of",
     "partition_endorsed",
+    "partition_wave",
     "reexecute_invalidated",
     "reorder_fabricpp",
     "reorder_fabricsharp",
+    "resolve_workers",
     "schedule_multi_enterprise",
     "schedule_parallel",
     "schedule_waves",
     "validate_endorsement",
+    "wave_is_conflict_free",
 ]

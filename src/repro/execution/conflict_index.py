@@ -226,6 +226,34 @@ class SealTracker:
         return self._next
 
 
+def wave_is_conflict_free(txs: Sequence) -> bool:
+    """Do the declared sets of ``txs`` really commute (no write-write or
+    read-write overlap)?
+
+    Defence-in-depth for the process-pool wave executor: a wave produced
+    by the dependency graph is conflict-free *by construction of the
+    declared sets*, so a violation here means a transaction's declaration
+    is inconsistent with the graph that scheduled it — executing such a
+    wave concurrently would be unsound, and the caller degrades to
+    inline serial execution instead. Built on two :class:`KeyLockIndex`
+    tables (writers and readers), so the check is O(keys touched).
+    """
+    writers = KeyLockIndex()
+    readers = KeyLockIndex()
+    for tx in txs:
+        write_keys = tx.write_keys
+        read_keys = tx.read_keys
+        if (
+            writers.conflicts(write_keys)
+            or readers.conflicts(write_keys)
+            or writers.conflicts(read_keys)
+        ):
+            return False
+        writers.acquire(write_keys, tx.tx_id)
+        readers.acquire(read_keys, tx.tx_id)
+    return True
+
+
 class KeyLockIndex:
     """No-wait lock table with O(touched) probes and O(held) release.
 

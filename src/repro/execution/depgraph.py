@@ -135,6 +135,23 @@ def build_dependency_graph(txs: list[Transaction]) -> DependencyGraph:
     return index.graph_for(uids, list(txs))
 
 
+def partition_wave(
+    wave: list[int], workers: int
+) -> list[list[int]]:
+    """Deterministic round-robin split of one wave across worker lanes.
+
+    Returns exactly ``workers`` chunks (some possibly empty) with chunk
+    ``k`` holding ``wave[k::workers]`` — a pure function of the wave and
+    the worker count, so the process-pool backend's task assignment (and
+    therefore its merge order and IPC shape) is reproducible run to run.
+    Round-robin keeps lane loads within one transaction of each other
+    for uniform costs, the common case for a single contract family.
+    """
+    if workers < 1:
+        raise ExecutionError(f"need at least one worker, got {workers}")
+    return [list(wave[k::workers]) for k in range(workers)]
+
+
 def schedule_waves(graph: DependencyGraph, costs: list[float]) -> float:
     """Makespan with unbounded executors and a barrier between waves."""
     total = 0.0

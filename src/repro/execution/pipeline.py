@@ -59,3 +59,13 @@ class ExecutionPipeline:
         if done > self._last_done:
             self._last_done = done
         return self._last_done
+
+    def reset(self, now: float = 0.0) -> None:
+        """Drain every lane to ``now`` — a synchronisation barrier.
+
+        The parallel-backend makespan model calls this between waves:
+        all lanes become free at the barrier time and the completion
+        clock restarts there, so per-wave makespans chain additively.
+        """
+        self._lanes = [now] * self.depth
+        self._last_done = now
