@@ -22,6 +22,10 @@ class LedgerError(ReproError):
     """A ledger invariant was violated (broken hash chain, bad block, ...)."""
 
 
+class StorageError(ReproError):
+    """A durable-storage operation failed or found corruption on disk."""
+
+
 class ValidationError(ReproError):
     """A transaction or block failed semantic validation."""
 

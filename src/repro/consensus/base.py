@@ -247,7 +247,7 @@ class ConsensusReplica(Node):
         HotStuff) advance that state after a catch-up decision."""
 
     def deliver(self, src: str, message: object) -> None:
-        if self.crashed:
+        if self.crashed or self.recovering:
             return
         if self._handle_catchup(message):
             return

@@ -161,6 +161,88 @@ class DurableDecisionMonitor(SafetyMonitor):
         return self.ok
 
 
+@register_monitor("durable-recovery")
+class DurableRecoveryMonitor(SafetyMonitor):
+    """Crash-restart recovery preserves the committed ledger prefix.
+
+    Written for :class:`~repro.storage.durable.DurableCluster` (decides
+    are ``(node, height, block_hash)``; recoveries arrive through
+    :meth:`on_recovery`) but registered like every invariant, so it must
+    be harmless under plain consensus clusters too — there it degrades
+    to a conflicting-commit check, and :meth:`on_recovery` simply never
+    fires.
+
+    Checked live:
+
+    * no two nodes ever commit different values at one height, and no
+      node rewrites a height it already committed (same-value re-commits
+      after catch-up are fine);
+    * a recovered node's replayed ledger is a *prefix-consistent
+      extension*: its post-replay tip must match both what the node
+      itself had committed at that height before the crash and the
+      cluster's canonical chain (losing a non-durable suffix is legal —
+      that is the fsync policy's loss window — rewriting history is
+      not).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: node -> {sequence: value} as reported through on_decide.
+        self._logs: dict[str, dict[int, Any]] = {}
+        #: sequence -> (value, first reporting node), across the cluster.
+        self._global: dict[int, tuple[Any, str]] = {}
+        self.recoveries: list[dict[str, Any]] = []
+
+    def on_decide(self, node_id: str, sequence: int, value: Any) -> None:
+        log = self._logs.setdefault(node_id, {})
+        previous = log.get(sequence)
+        if previous is not None and previous != value:
+            self.violations.append(
+                f"{node_id} rewrote seq {sequence}: "
+                f"{previous!r} -> {value!r}"
+            )
+        log[sequence] = value
+        existing = self._global.get(sequence)
+        if existing is None:
+            self._global[sequence] = (value, node_id)
+        elif existing[0] != value:
+            self.violations.append(
+                f"seq {sequence}: {node_id} committed {value!r} but "
+                f"{existing[1]} committed {existing[0]!r}"
+            )
+
+    def on_recovery(
+        self,
+        node_id: str,
+        height: int,
+        tip_hash: str,
+        replayed: int = 0,
+        torn: bool = False,
+        resync: bool = False,
+    ) -> None:
+        """A node finished WAL replay and re-joined at (height, tip)."""
+        self.recoveries.append({
+            "node": node_id, "height": height, "tip_hash": tip_hash,
+            "replayed": replayed, "torn": torn, "resync": resync,
+        })
+        if height == 0:
+            return  # recovered to genesis (resync) — nothing to contradict
+        own = self._logs.get(node_id, {}).get(height)
+        if own is not None and own != tip_hash:
+            self.violations.append(
+                f"{node_id} recovered a different block at height {height} "
+                "than it had committed before the crash"
+            )
+        canonical_of = getattr(self._cluster, "canonical_block_hash", None)
+        if canonical_of is not None:
+            canonical = canonical_of(height)
+            if canonical is not None and canonical != tip_hash:
+                self.violations.append(
+                    f"{node_id} recovered tip at height {height} diverges "
+                    "from the canonical chain"
+                )
+
+
 @dataclass
 class GuardedRun:
     """Outcome of :func:`guarded_run_until_decided`.

@@ -47,7 +47,22 @@ STORE_COUNTERS = {
     "overlay_entries_merged": 0,
     "compactions": 0,
     "compaction_entries": 0,
+    # Durability tier (repro.storage): sealed overlays spilled to on-disk
+    # snapshot runs, and entries written by those spills.
+    "overlay_spills": 0,
+    "overlay_spill_entries": 0,
 }
+
+
+def is_tombstone(entry: Any) -> bool:
+    """True when an overlay entry marks a deleted key.
+
+    Part of the :meth:`StateStore.sealed_overlays` public contract: the
+    durability tier (``repro.storage.snapshots``) walks sealed overlays
+    directly and must distinguish live values from deletion markers
+    without reaching into the private sentinel.
+    """
+    return entry is _TOMBSTONE
 
 
 def reset_store_counters() -> None:
@@ -199,6 +214,18 @@ class StateStore:
         self._len -= 1
         self._head[key] = _TOMBSTONE
 
+    def mark_deleted(self, key: str) -> None:
+        """Record a deletion marker even when ``key`` is not visible here.
+
+        A full store can skip deletes of absent keys (:meth:`delete`),
+        but a *delta* buffer — the durability tier's spill buffer —
+        must not: the key being deleted usually lives in an older
+        on-disk run, and only the tombstone carries the delete there.
+        """
+        if key in self:
+            self._len -= 1
+        self._head[key] = _TOMBSTONE
+
     def apply_writes(self, writes: dict[str, Any], version: Version) -> None:
         """Install a committed write set atomically at ``version``.
 
@@ -239,21 +266,49 @@ class StateStore:
             STORE_COUNTERS["overlay_entries_merged"] += len(lower)
             layer = merged
         sealed.append(layer)
-        total = sum(len(overlay) for overlay in sealed)
-        if total >= max(_COMPACT_FLOOR, len(self._base)):
-            base = dict(self._base)
-            for overlay in sealed:
-                for key, entry in overlay.items():
-                    if entry is _TOMBSTONE:
-                        base.pop(key, None)
-                    else:
-                        base[key] = entry
-            STORE_COUNTERS["compactions"] += 1
-            STORE_COUNTERS["compaction_entries"] += len(base)
-            self._base = base
-            self._sealed = ()
-        else:
-            self._sealed = tuple(sealed)
+        self._sealed = tuple(sealed)
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Fold the sealed overlays into a fresh base when they rival it.
+
+        Subclasses that must keep every sealed overlay observable (the
+        durability tier's spill buffer) override this with a no-op.
+        """
+        total = sum(len(overlay) for overlay in self._sealed)
+        if total < max(_COMPACT_FLOOR, len(self._base)):
+            return
+        base = dict(self._base)
+        for overlay in self._sealed:
+            for key, entry in overlay.items():
+                if entry is _TOMBSTONE:
+                    base.pop(key, None)
+                else:
+                    base[key] = entry
+        STORE_COUNTERS["compactions"] += 1
+        STORE_COUNTERS["compaction_entries"] += len(base)
+        self._base = base
+        self._sealed = ()
+
+    def sealed_overlays(self) -> tuple[dict[str, Any], ...]:
+        """The immutable sealed overlays, **oldest to newest**.
+
+        Public contract (the durability tier's snapshot spill depends on
+        it — see ``repro.storage.snapshots``):
+
+        * Overlays are ordered oldest first; for a key present in more
+          than one overlay, the **last** overlay holding it wins. A
+          correct merged view is therefore ``dict(o0) | dict(o1) | …``.
+        * Entries are :class:`VersionedValue` objects or a deletion
+          marker; callers must classify entries with
+          :func:`is_tombstone`, never by identity against private state.
+        * The returned overlays are never mutated afterwards (snapshots
+          share them), so callers may iterate them lazily.
+
+        Writes still in the mutable head overlay are *not* included;
+        call :meth:`snapshot` first to seal the head.
+        """
+        return self._sealed
 
     # -- whole-state views ----------------------------------------------------
 

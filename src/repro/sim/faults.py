@@ -87,6 +87,11 @@ class CrashSchedule:
     order), so ``crash_at(t, n)`` + ``recover_at(t, n)`` deterministically
     leaves ``n`` recovered — with every pre-``t`` timer invalidated by
     the crash. Duplicate actions are idempotent.
+
+    A recovery is the start of the restart, not its end: nodes with a
+    positive ``recovery_delay()`` (durable nodes replaying their WAL)
+    re-join — and re-arm timers — only after that modelled delay; see
+    :meth:`FaultPlan.recover`.
     """
 
     crashes: list[tuple[float, str]] = field(default_factory=list)
@@ -199,6 +204,20 @@ class FaultPlan:
         return self
 
     def recover(self, time: float, *node_ids: str) -> "FaultPlan":
+        """Restart ``node_ids`` at ``time``.
+
+        ``time`` is when the process comes back *up*, not when it is
+        back *in service*: a node whose
+        :meth:`~repro.sim.node.Node.recovery_delay` is positive (durable
+        nodes model WAL replay this way) spends that long in the
+        ``recovering`` state first — dropping messages, owning no timers
+        — and re-arms its protocol timers only when the replay
+        completes. Plans asserting on post-recovery behaviour must
+        therefore leave headroom after the recover event; the per-node
+        epoch guard (see :meth:`~repro.sim.node.Node.crash`) extends to
+        the replay window, so a re-crash inside it cleanly aborts the
+        restart.
+        """
         for node_id in node_ids:
             self._crash_schedule.recover_at(time, node_id)
         return self

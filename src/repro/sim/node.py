@@ -75,6 +75,10 @@ class Node:
         self.sim = sim
         self.network = network
         self.crashed = False
+        #: True while a restart is replaying its durable state: the
+        #: process exists but is not serving yet (messages are dropped,
+        #: no timers armed). See :meth:`recovery_delay`.
+        self.recovering = False
         self._epoch = 0
         self._timers: list[Timer] = []
         network.join(self)
@@ -93,7 +97,7 @@ class Node:
 
     def deliver(self, src: str, message: object) -> None:
         """Called by the network when a message arrives."""
-        if self.crashed:
+        if self.crashed or self.recovering:
             return
         self.on_message(src, message)
 
@@ -143,6 +147,7 @@ class Node:
         nothing armed before the crash can fire after :meth:`recover`.
         """
         self.crashed = True
+        self.recovering = False  # a crash mid-recovery aborts the restart
         if GHOST_TIMER_BUG:
             return  # bug mode: pre-crash timers survive into recovery
         self._epoch += 1
@@ -155,13 +160,42 @@ class Node:
 
         Calls :meth:`on_recover` so subclasses can re-arm the timers a
         restarted process needs (pre-crash timers are gone for good).
+
+        When :meth:`recovery_delay` returns a positive duration —
+        durable nodes model WAL replay this way — the restart is *not*
+        instantaneous: the node enters the ``recovering`` state (alive
+        but not serving; messages are dropped) and :meth:`on_recover`
+        runs only once the modelled replay completes. Protocol timers
+        are therefore re-armed after replay, never at the recover-event
+        timestamp. A crash during the window aborts the restart (the
+        epoch guard keeps the pending completion from firing).
         """
         if not self.crashed:
             return
         self.crashed = False
         if GHOST_TIMER_BUG:
             return  # bug mode: nothing re-armed, ghosts may still fire
-        self.on_recover()
+        delay = self.recovery_delay()
+        if delay <= 0.0:
+            self.on_recover()
+            return
+        self.recovering = True
+        epoch = self._epoch
+
+        def finish_recovery() -> None:
+            if self.crashed or self._epoch != epoch:
+                return
+            self.recovering = False
+            self.on_recover()
+
+        self.sim.schedule(delay, finish_recovery)
+
+    def recovery_delay(self) -> float:
+        """Hook: modelled restart work (e.g. WAL replay) in virtual
+        seconds before the node re-joins. Default 0.0 — recovery
+        completes at the recover event, preserving the historical
+        semantics for purely in-memory nodes."""
+        return 0.0
 
     def on_recover(self) -> None:
         """Hook: re-arm restart timers. Default is a no-op."""

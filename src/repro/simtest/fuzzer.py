@@ -70,7 +70,12 @@ def random_plan(scenario: ScenarioSpec, rng: random.Random,
     with bounded probability so they degrade rather than sever.
     For system targets the reference orderer ``r0`` is never crashed —
     block delivery is observed through it, so crashing it only measures
-    the observer, not the protocols.
+    the observer, not the protocols. For durable targets every storage
+    node is fair game (the never-crashing ``orderer`` is not a replica),
+    every crash gets a recovery so the WAL-replay path actually runs,
+    and partition groups fold the orderer in because
+    :meth:`~repro.sim.network.Network.partition` requires every
+    registered node in exactly one group.
     """
     replicas = list(scenario.replica_ids)
     budget = scenario.fault_budget
@@ -78,6 +83,8 @@ def random_plan(scenario: ScenarioSpec, rng: random.Random,
     n_faults = rng.randint(1, max(1, max_faults))
     if scenario.target == "system":
         crash_candidates = list(replicas[1:])  # r0 = reference orderer
+    elif scenario.target == "durable":
+        crash_candidates = list(replicas)  # orderer is outside replica_ids
     else:
         crash_candidates = list(replicas[:-1])  # last = retry submitter
     rng.shuffle(crash_candidates)
@@ -92,7 +99,7 @@ def random_plan(scenario: ScenarioSpec, rng: random.Random,
             crashed += 1
             at = _round(rng.uniform(0.05, horizon * 0.6))
             faults.append(FaultSpec(kind="crash", time=at, node=victim))
-            if rng.random() < 0.75:
+            if rng.random() < 0.75 or scenario.target == "durable":
                 back = _round(rng.uniform(at + 0.2, horizon))
                 faults.append(
                     FaultSpec(kind="recover", time=back, node=victim)
@@ -104,8 +111,12 @@ def random_plan(scenario: ScenarioSpec, rng: random.Random,
             cut = rng.randint(1, len(replicas) - 1)
             members = list(replicas)
             rng.shuffle(members)
-            groups = (tuple(sorted(members[:cut])),
-                      tuple(sorted(members[cut:])))
+            first, second = members[:cut], members[cut:]
+            if scenario.target == "durable":
+                # Every registered node must land in exactly one group;
+                # keep the block source with the (random) first group.
+                first = first + ["orderer"]
+            groups = (tuple(sorted(first)), tuple(sorted(second)))
             faults.append(
                 FaultSpec(kind="partition", time=start, end=end, groups=groups)
             )

@@ -40,11 +40,17 @@ class ScenarioSpec:
     """A reproducible system-under-test description.
 
     ``target`` is ``"consensus"`` (a ``ConsensusCluster`` of
-    ``protocol``) or ``"system"`` (the ``architecture`` from
-    ``repro.core.SYSTEMS`` ordering through ``protocol``). Consensus
-    scenarios demand liveness by default — every within-budget schedule
-    must still decide; system scenarios only demand safety (XOV may
-    abort under contention, but must never commit conflicting writes).
+    ``protocol``), ``"system"`` (the ``architecture`` from
+    ``repro.core.SYSTEMS`` ordering through ``protocol``), or
+    ``"durable"`` (a :class:`~repro.storage.durable.DurableCluster`:
+    crash-recoverable nodes with WAL + snapshot storage behind seeded
+    fault-injected backends — flags ``torn-disk`` / ``lying-disk``
+    select the storage fault profile). Consensus scenarios demand
+    liveness by default — every within-budget schedule must still
+    decide; system scenarios only demand safety (XOV may abort under
+    contention, but must never commit conflicting writes); durable
+    scenarios demand both liveness (every recovered node catches back
+    up) and the serial-oracle equivalence audit.
     """
 
     target: str = "consensus"
@@ -64,7 +70,7 @@ class ScenarioSpec:
     invariants: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
-        if self.target not in ("consensus", "system"):
+        if self.target not in ("consensus", "system", "durable"):
             raise ConfigError(f"unknown scenario target {self.target!r}")
         if self.protocol not in PROTOCOLS:
             raise ConfigError(f"unknown protocol {self.protocol!r}")
@@ -90,7 +96,8 @@ class ScenarioSpec:
 
     @property
     def replica_ids(self) -> tuple[str, ...]:
-        return tuple(f"r{i}" for i in range(self.cluster_n))
+        prefix = "d" if self.target == "durable" else "r"
+        return tuple(f"{prefix}{i}" for i in range(self.cluster_n))
 
     @property
     def fault_budget(self) -> int:
@@ -159,7 +166,9 @@ def _behaviour_flags(flags: tuple[str, ...]):
     """Toggle named behaviour flags for the duration of one run."""
     import repro.sim.node as node_module
 
-    known = {"ghost-timers"}
+    # torn-disk / lying-disk are storage fault profiles consumed by the
+    # durable target directly; they toggle nothing global.
+    known = {"ghost-timers", "torn-disk", "lying-disk"}
     unknown = set(flags) - known
     if unknown:
         raise ConfigError(f"unknown behaviour flags {sorted(unknown)}")
@@ -174,6 +183,11 @@ def _behaviour_flags(flags: tuple[str, ...]):
 def _make_monitors(scenario: ScenarioSpec):
     if scenario.invariants:
         return [MONITOR_REGISTRY[name]() for name in scenario.invariants]
+    if scenario.target == "durable":
+        # The standard consensus monitors assume decided logs that only
+        # grow; a durable node legitimately re-commits its WAL tail
+        # after recovery, so the dedicated invariant is the default.
+        return [MONITOR_REGISTRY["durable-recovery"]()]
     return standard_monitors()
 
 
@@ -190,6 +204,8 @@ def run_scenario(
     with _behaviour_flags(scenario.flags):
         if scenario.target == "consensus":
             return _run_consensus(scenario, plan)
+        if scenario.target == "durable":
+            return _run_durable(scenario, plan)
         return _run_system(scenario, plan)
 
 
@@ -250,6 +266,74 @@ def _run_consensus(scenario: ScenarioSpec, plan: PlanSpec) -> ScenarioResult:
         committed=min(len(r.decided) for r in cluster.correct_replicas())
         if cluster.correct_replicas()
         else 0,
+    )
+
+
+def _run_durable(scenario: ScenarioSpec, plan: PlanSpec) -> ScenarioResult:
+    """One chaos run against a crash-recoverable durable cluster.
+
+    Liveness: every node that is *up* at the end has caught back up to
+    the canonical tip (a node deliberately left crashed by the plan is
+    down, not behind — mirroring ``correct_replicas`` for consensus).
+    Safety: the monitor's recovery-prefix checks plus the end-of-run
+    serial-oracle audit (tip hash and Merkle state root byte-identical
+    to a no-crash serial execution).
+    """
+    from repro.storage.durable import DurableCluster
+
+    profile: dict[str, float] = {}
+    if "torn-disk" in scenario.flags:
+        profile.update(partial_write=0.35, bit_flip=0.25)
+    if "lying-disk" in scenario.flags:
+        profile.update(fsync_lost=0.3)
+    cluster = DurableCluster(
+        n=scenario.cluster_n,
+        txs=max(4, scenario.txs),
+        seed=scenario.seed,
+        fault_profile=profile or None,
+    )
+    monitors = _make_monitors(scenario)
+    for monitor in monitors:
+        cluster.add_monitor(monitor)
+    plan.build().apply(cluster.sim, cluster.network)
+    # The run must outlive the last scheduled fault: caught_up() ignores
+    # crashed nodes, so stopping early would skip the very recovery the
+    # plan injects.
+    last_fault = max(
+        (fault.end if fault.end is not None else fault.time
+         for fault in plan.faults),
+        default=0.0,
+    )
+    decided = cluster.run(
+        timeout=scenario.timeout, min_time=last_fault + 1e-6
+    )
+    violations: list[str] = []
+    for monitor in monitors:
+        monitor.check()
+        violations.extend(monitor.violations)
+    if decided:
+        violations.extend(cluster.durable_audit())
+    elif scenario.require_liveness:
+        behind = sorted(
+            node_id
+            for node_id, node in cluster.nodes.items()
+            if not node.crashed
+            and (node.recovering or node.tail.height < cluster.chain.height)
+        )
+        violations.append(
+            "liveness: recovered nodes never caught up to the canonical "
+            f"tip ({', '.join(behind) or 'none live'})"
+        )
+    committed = min(
+        (
+            node.tail.height
+            for node in cluster.nodes.values()
+            if not node.crashed and not node.recovering
+        ),
+        default=0,
+    )
+    return ScenarioResult(
+        decided=decided, violations=violations, committed=committed
     )
 
 

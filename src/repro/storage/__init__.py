@@ -1,0 +1,89 @@
+"""Durable storage: WAL, snapshot tier, and crash-restart recovery.
+
+The durability substitution of DESIGN.md: the memory-only ledger and
+state store gain an on-disk twin — an append-only checksummed block log
+(:mod:`repro.storage.wal`) plus LSM-style state snapshot runs behind an
+atomically swapped manifest (:mod:`repro.storage.snapshots`) — over a
+narrow backend API (:mod:`repro.storage.backend`) with a deterministic
+in-memory implementation whose seeded fault profiles model torn writes,
+lying fsyncs, and bit flips. :mod:`repro.storage.durable` wires it into
+the chaos engine as crash-recoverable simulated nodes.
+"""
+
+from repro.storage.backend import (
+    CLEAN_PROFILE,
+    STORAGE_COUNTERS,
+    FaultProfile,
+    MemoryBackend,
+    OsBackend,
+    reset_storage_counters,
+)
+from repro.storage.codec import (
+    block_from_dict,
+    block_to_dict,
+    decode_block,
+    encode_block,
+    state_root,
+)
+from repro.storage.durable import (
+    BlockAnnounce,
+    BlockRange,
+    BlockRequest,
+    ChainTail,
+    DurableCluster,
+    DurableLedger,
+    DurableNode,
+    OrdererNode,
+    RecoveryResult,
+    build_canonical_chain,
+    release_data_dir,
+    resolve_data_dir,
+)
+from repro.storage.snapshots import (
+    SnapshotStore,
+    SpillBuffer,
+    merge_overlays,
+)
+from repro.storage.wal import (
+    BlockLog,
+    FsyncPolicy,
+    ReplayResult,
+    encode_record,
+    replay_records,
+    segment_name,
+)
+
+__all__ = [
+    "BlockAnnounce",
+    "BlockLog",
+    "BlockRange",
+    "BlockRequest",
+    "CLEAN_PROFILE",
+    "ChainTail",
+    "DurableCluster",
+    "DurableLedger",
+    "DurableNode",
+    "FaultProfile",
+    "FsyncPolicy",
+    "MemoryBackend",
+    "OrdererNode",
+    "OsBackend",
+    "RecoveryResult",
+    "ReplayResult",
+    "STORAGE_COUNTERS",
+    "SnapshotStore",
+    "SpillBuffer",
+    "block_from_dict",
+    "block_to_dict",
+    "build_canonical_chain",
+    "decode_block",
+    "encode_block",
+    "encode_record",
+    "merge_overlays",
+    "release_data_dir",
+    "replay_records",
+    "reset_storage_counters",
+    "resolve_data_dir",
+    "segment_name",
+    "state_root",
+]

@@ -1,0 +1,131 @@
+"""Stable serialization for blocks and state (the durable wire format).
+
+Blocks go into WAL records and manifests; state entries go into
+snapshot runs. Both use canonical JSON (sorted keys, no whitespace
+variance) so digests over the encoded bytes are deterministic across
+runs and platforms. Decoding rebuilds the exact in-memory objects —
+``Block.block_hash`` of a decoded block equals the original's, which is
+what lets recovery re-verify the hash chain from raw bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.common.errors import StorageError
+from repro.common.types import Operation, OpType, Transaction, TxType
+from repro.crypto.digests import sha256_hex
+from repro.crypto.merkle import merkle_root
+from repro.ledger.block import Block, BlockHeader
+from repro.ledger.store import StateStore, Version
+
+
+def tx_to_dict(tx: Transaction) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "tx_id": tx.tx_id,
+        "contract": tx.contract,
+        "args": list(tx.args),
+        "submitter": tx.submitter,
+        "tx_type": tx.tx_type.value,
+        "declared_ops": [[op.op_type.value, op.key] for op in tx.declared_ops],
+        "involved": sorted(tx.involved),
+        "submitted_at": tx.submitted_at,
+    }
+    return out
+
+
+def tx_from_dict(data: dict[str, Any]) -> Transaction:
+    return Transaction(
+        tx_id=data["tx_id"],
+        contract=data["contract"],
+        args=tuple(data["args"]),
+        submitter=data["submitter"],
+        tx_type=TxType(data["tx_type"]),
+        declared_ops=tuple(
+            Operation(OpType(kind), key) for kind, key in data["declared_ops"]
+        ),
+        involved=frozenset(data["involved"]),
+        submitted_at=float(data["submitted_at"]),
+    )
+
+
+def block_to_dict(block: Block) -> dict[str, Any]:
+    header = block.header
+    return {
+        "height": header.height,
+        "prev_hash": header.prev_hash,
+        "tx_root": header.tx_root,
+        "timestamp": header.timestamp,
+        "proposer": header.proposer,
+        "transactions": [tx_to_dict(tx) for tx in block.transactions],
+    }
+
+
+def block_from_dict(data: dict[str, Any]) -> Block:
+    header = BlockHeader(
+        height=int(data["height"]),
+        prev_hash=data["prev_hash"],
+        tx_root=data["tx_root"],
+        timestamp=float(data["timestamp"]),
+        proposer=data["proposer"],
+    )
+    block = Block(
+        header=header,
+        transactions=tuple(tx_from_dict(t) for t in data["transactions"]),
+    )
+    block.validate_payload()  # decoded payload must match its tx_root
+    return block
+
+
+def encode_block(block: Block, state_root: str) -> bytes:
+    """One WAL-record payload: the block plus the post-commit state root."""
+    return json.dumps(
+        {"block": block_to_dict(block), "state_root": state_root},
+        sort_keys=True, separators=(",", ":"),
+    ).encode()
+
+
+def decode_block(payload: bytes) -> tuple[Block, str]:
+    """Inverse of :func:`encode_block`; raises StorageError on garbage."""
+    try:
+        data = json.loads(payload.decode())
+        return block_from_dict(data["block"]), data["state_root"]
+    except StorageError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - any malformed payload
+        raise StorageError(f"undecodable WAL payload: {exc}") from exc
+
+
+# -- state digests ------------------------------------------------------------
+
+
+def state_root(store: StateStore) -> str:
+    """Merkle root over the store's live entries, versions included.
+
+    Entries are serialized as ``key|value-repr|height|tx_index`` leaves
+    in sorted-key order, so two stores with identical visible state *and*
+    identical MVCC versions — the post-recovery equivalence the WAL
+    records assert — produce the same root regardless of their internal
+    layer layout.
+    """
+    leaves = [
+        f"{key}|{entry.value!r}|{entry.version.height}|{entry.version.tx_index}"
+        for key, entry in sorted(store.items())
+    ]
+    return merkle_root(leaves)
+
+
+def entry_to_row(key: str, value: Any, version: Version) -> list[Any]:
+    """One snapshot-run row; ``value`` None encodes a tombstone."""
+    return [key, value, version.height, version.tx_index]
+
+
+def row_to_entry(row: list[Any]) -> tuple[str, Any, Version]:
+    key, value, height, tx_index = row
+    return key, value, Version(int(height), int(tx_index))
+
+
+def checksum(payload: bytes) -> str:
+    """Content checksum for snapshot runs and the manifest."""
+    return sha256_hex(payload)

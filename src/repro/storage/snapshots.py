@@ -1,0 +1,265 @@
+"""The on-disk state tier: snapshot runs, manifest, compaction.
+
+This extends the size-tiered COW overlay design of
+:class:`~repro.ledger.store.StateStore` (PR 4) one level down, LSM
+style:
+
+* A :class:`SpillBuffer` — a ``StateStore`` that never compacts —
+  accumulates every committed write since the last spill. Spilling
+  seals it and merges its sealed overlays **oldest to newest** (the
+  :meth:`~repro.ledger.store.StateStore.sealed_overlays` public
+  contract; later overlays supersede earlier ones) into one sorted,
+  checksummed **run file**.
+* The **manifest** is the tiny root of trust: the ordered list of live
+  runs (with checksums), the snapshot height, the anchor block the WAL
+  tail continues from, and the live WAL segments. It is replaced
+  atomically (write-temp + fsync + rename), so a crash at *any* point
+  leaves either the old or the new snapshot set fully readable — never
+  a mixture. Run files and WAL segments are only deleted **after** the
+  manifest that stops referencing them is durable.
+* **Compaction** merges all live runs into one (newest entry per key
+  wins, tombstones drop out once they reach the bottom) and swaps the
+  manifest; a crash mid-compaction is invisible to recovery.
+
+Reading state back is ``apply runs in manifest order``: rows carry the
+exact MVCC :class:`~repro.ledger.store.Version` of each write, so a
+recovered store is version-identical to the store that spilled it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.common.errors import StorageError
+from repro.ledger.store import (
+    STORE_COUNTERS,
+    StateStore,
+    Version,
+    is_tombstone,
+)
+from repro.storage.codec import checksum, entry_to_row, row_to_entry
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_FORMAT = "repro-manifest/v1"
+
+RUN_PREFIX = "snap-"
+RUN_SUFFIX = ".json"
+
+#: Compact the run set once it grows past this many files.
+DEFAULT_MAX_RUNS = 4
+
+#: Disk-compaction counter (separate from the in-memory STORE_COUNTERS
+#: "compactions", which counts base folds inside StateStore).
+STORAGE_SNAPSHOT_COMPACTIONS = {"count": 0}
+
+
+def run_name(run_id: int) -> str:
+    return f"{RUN_PREFIX}{run_id:06d}{RUN_SUFFIX}"
+
+
+class SpillBuffer(StateStore):
+    """A StateStore that keeps every sealed overlay observable.
+
+    The base-compaction step of the parent class folds overlays into
+    the base dict and *drops tombstones that cancel base entries* —
+    information the spill still needs. This subclass disables
+    compaction, so between two spills the full delta (including
+    deletes) remains reachable through :meth:`sealed_overlays`.
+    Buffers are reset (replaced) after every spill, so they stay small.
+    """
+
+    def _maybe_compact(self) -> None:  # noqa: D102 - contract in class doc
+        return
+
+    def delete(self, key: str) -> None:
+        """Always record the tombstone: this buffer holds only the delta
+        since the last spill, so the deleted key usually lives in an
+        older run — skipping "absent" keys would lose the delete."""
+        self.mark_deleted(key)
+
+
+def merge_overlays(overlays) -> dict[str, Any]:
+    """Merge sealed overlays per the documented order contract.
+
+    ``overlays`` is oldest → newest; for keys present in several
+    overlays the **last** one wins. Entries are VersionedValue objects
+    or tombstones (classified via
+    :func:`~repro.ledger.store.is_tombstone`).
+    """
+    merged: dict[str, Any] = {}
+    for overlay in overlays:
+        merged.update(overlay)
+    return merged
+
+
+class SnapshotStore:
+    """Manages run files + the manifest over one storage backend."""
+
+    def __init__(self, backend, max_runs: int = DEFAULT_MAX_RUNS) -> None:
+        if max_runs < 1:
+            raise StorageError(f"max_runs must be >= 1, got {max_runs}")
+        self.backend = backend
+        self.max_runs = max_runs
+
+    # -- manifest ------------------------------------------------------------
+
+    def read_manifest(self) -> dict[str, Any] | None:
+        """The current manifest, or None when absent/undecodable.
+
+        An undecodable manifest (bit flip, lost rename journal) is
+        treated as *no snapshot state* — the caller falls back to a
+        full resync, which is always safe.
+        """
+        if not self.backend.exists(MANIFEST_NAME):
+            return None
+        try:
+            data = json.loads(self.backend.read(MANIFEST_NAME).decode())
+        except Exception:  # noqa: BLE001 - corrupt manifest = no manifest
+            return None
+        if not isinstance(data, dict) or data.get("format") != MANIFEST_FORMAT:
+            return None
+        return data
+
+    def write_manifest(self, manifest: dict[str, Any]) -> None:
+        manifest = dict(manifest)
+        manifest["format"] = MANIFEST_FORMAT
+        payload = json.dumps(
+            manifest, sort_keys=True, separators=(",", ":")
+        ).encode()
+        # One atomic replace: the backend models write-temp+fsync+rename.
+        self.backend.replace(MANIFEST_NAME, payload)
+
+    # -- runs ----------------------------------------------------------------
+
+    def write_run(self, run_id: int, rows: list[list[Any]]) -> dict[str, Any]:
+        """Write one run file; returns its manifest entry (name+checksum)."""
+        payload = json.dumps(
+            rows, sort_keys=True, separators=(",", ":")
+        ).encode()
+        name = run_name(run_id)
+        self.backend.replace(name, payload)
+        return {"name": name, "checksum": checksum(payload), "rows": len(rows)}
+
+    def read_run(self, entry: dict[str, Any]) -> list[list[Any]]:
+        """Read + verify one run; StorageError on any corruption."""
+        name = entry["name"]
+        if not self.backend.exists(name):
+            raise StorageError(f"missing snapshot run {name!r}")
+        payload = self.backend.read(name)
+        if checksum(payload) != entry["checksum"]:
+            raise StorageError(f"checksum mismatch in snapshot run {name!r}")
+        try:
+            rows = json.loads(payload.decode())
+        except Exception as exc:  # noqa: BLE001
+            raise StorageError(f"undecodable snapshot run {name!r}") from exc
+        return rows
+
+    # -- spill ---------------------------------------------------------------
+
+    def rows_from_buffer(self, buffer: SpillBuffer) -> list[list[Any]]:
+        """Seal ``buffer`` and flatten its delta into sorted run rows.
+
+        This is the consumer of the ``sealed_overlays()`` order
+        contract: later overlays supersede earlier ones, tombstones
+        become ``value None`` rows (deletes must be replayed — a key
+        deleted here may exist in an older run).
+        """
+        buffer.snapshot()  # seals the head overlay
+        merged = merge_overlays(buffer.sealed_overlays())
+        rows = []
+        for key in sorted(merged):
+            entry = merged[key]
+            if is_tombstone(entry):
+                rows.append(entry_to_row(key, None, Version(-1, -1)))
+            else:
+                rows.append(entry_to_row(key, entry.value, entry.version))
+        STORE_COUNTERS["overlay_spills"] += 1
+        STORE_COUNTERS["overlay_spill_entries"] += len(rows)
+        return rows
+
+    def spill(
+        self,
+        buffer: SpillBuffer,
+        manifest: dict[str, Any],
+        **manifest_updates: Any,
+    ) -> dict[str, Any]:
+        """Write ``buffer``'s delta as a new run and swap the manifest.
+
+        Returns the new manifest. Old WAL segments named in
+        ``manifest_updates`` handling are the caller's job; this method
+        only guarantees run durability ordering (run file durable
+        before the manifest references it) and triggers compaction when
+        the run set grows past ``max_runs``.
+        """
+        rows = self.rows_from_buffer(buffer)
+        run_id = int(manifest.get("next_run_id", 1))
+        entry = self.write_run(run_id, rows)
+        new_manifest = dict(manifest)
+        new_manifest["runs"] = list(manifest.get("runs", ())) + [entry]
+        new_manifest["next_run_id"] = run_id + 1
+        new_manifest.update(manifest_updates)
+        if len(new_manifest["runs"]) > self.max_runs:
+            return self.compact(new_manifest)
+        self.write_manifest(new_manifest)
+        return new_manifest
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self, manifest: dict[str, Any]) -> dict[str, Any]:
+        """Merge every live run into one; atomic manifest swap.
+
+        Ordering is the whole point:
+
+        1. write the merged run (durable),
+        2. swap the manifest (atomic replace),
+        3. only then delete the superseded run files.
+
+        A crash before (2) leaves the old manifest pointing at the old,
+        untouched run set; a crash between (2) and (3) leaks files but
+        loses nothing. The crash-during-compaction capsule asserts
+        exactly this.
+        """
+        entries = list(manifest.get("runs", ()))
+        merged: dict[str, tuple[Any, Version]] = {}
+        for entry in entries:
+            for row in self.read_run(entry):
+                key, value, version = row_to_entry(row)
+                merged[key] = (value, version)
+        rows = []
+        for key in sorted(merged):
+            value, version = merged[key]
+            if value is None:
+                continue  # bottom tier: tombstones cancel out
+            rows.append(entry_to_row(key, value, version))
+        run_id = int(manifest.get("next_run_id", 1))
+        new_entry = self.write_run(run_id, rows)
+        new_manifest = dict(manifest)
+        new_manifest["runs"] = [new_entry]
+        new_manifest["next_run_id"] = run_id + 1
+        self.write_manifest(new_manifest)
+        STORAGE_SNAPSHOT_COMPACTIONS["count"] += 1
+        for entry in entries:
+            self.backend.delete(entry["name"])
+        return new_manifest
+
+    # -- load ----------------------------------------------------------------
+
+    def load_state(self, manifest: dict[str, Any]) -> StateStore:
+        """Rebuild a StateStore from the manifest's run set.
+
+        Runs apply in manifest order (oldest first), so later runs'
+        entries — including deletes — supersede earlier ones, mirroring
+        the overlay order they were spilled from. StorageError on any
+        missing or corrupt run (callers treat that as "snapshot tier
+        unusable, full resync").
+        """
+        store = StateStore()
+        for entry in manifest.get("runs", ()):
+            for row in self.read_run(entry):
+                key, value, version = row_to_entry(row)
+                if value is None:
+                    store.delete(key)
+                else:
+                    store.put(key, value, version)
+        return store
