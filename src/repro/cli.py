@@ -6,6 +6,7 @@
     python -m repro consensus --n 7      # protocol comparison
     python -m repro shard --clusters 4   # the four sharded systems
     python -m repro resilience           # fault-injection sweep
+    python -m repro gateway --loads 500,1000,2000   # open-loop latency
     python -m repro fuzz --protocol raft --runs 50 --seed 7
     python -m repro recover --torn-disk  # crash-restart a durable node
     python -m repro replay capsule.json  # re-run a saved failing schedule
@@ -230,6 +231,60 @@ def cmd_resilience(args) -> None:
     ]
     print_table(
         display, title="resilience: crash / partition / loss fault regimes"
+    )
+
+
+def cmd_gateway(args) -> None:
+    """Open-loop offered-load sweep through the front-door gateway.
+
+    Each cell fires a Poisson arrival schedule (ramp + steady phases,
+    Zipf-skewed clients) through the admission tier into one
+    architecture and reports end-to-end p50/p95/p99 latency, goodput,
+    and the shed accounting — push ``--loads`` past an architecture's
+    capacity to see the saturation knee.
+    """
+    from repro.gateway import GatewayConfig, GatewayRun
+    from repro.workloads.openloop import (
+        OpenLoopConfig,
+        OpenLoopWorkload,
+        ramp_steady_burst,
+    )
+
+    names = (
+        sorted(SYSTEMS) if args.systems == "all"
+        else args.systems.split(",")
+    )
+    loads = [float(x) for x in args.loads.split(",")]
+    rows = []
+    for name in names:
+        for load in loads:
+            workload = OpenLoopWorkload(OpenLoopConfig(
+                clients=args.clients,
+                invalid_fraction=args.invalid,
+                phases=ramp_steady_burst(load, steady=args.duration),
+                seed=args.seed,
+            ))
+            run = GatewayRun(
+                name,
+                workload,
+                gateway_config=GatewayConfig(
+                    rate=args.client_rate,
+                    burst=10.0,
+                    queue_capacity=args.queue,
+                    max_in_flight=args.in_flight,
+                    max_retries=args.retries,
+                ),
+                system_config=SystemConfig(
+                    seed=args.seed,
+                    max_time=workload.config.duration + 60.0,
+                ),
+            )
+            report = run.run()
+            row = report.to_row()
+            row["fingerprint"] = report.fingerprint[:12]
+            rows.append(row)
+    print_table(
+        rows, title="end-to-end latency through the gateway (open loop)"
     )
 
 
@@ -551,16 +606,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resilience.set_defaults(fn=cmd_resilience)
 
+    gateway = sub.add_parser(
+        "gateway",
+        help="open-loop end-to-end latency through the admission tier",
+    )
+    gateway.add_argument(
+        "--systems", default="ox",
+        help="comma-separated architectures, or 'all'",
+    )
+    gateway.add_argument(
+        "--loads", default="250,500,1000,2000",
+        help="comma-separated offered loads (tx/s)",
+    )
+    gateway.add_argument("--duration", type=float, default=2.0,
+                         help="steady-phase length per cell (sim seconds)")
+    gateway.add_argument("--clients", type=int, default=100_000,
+                         help="simulated client population")
+    gateway.add_argument("--client-rate", type=float, default=100.0,
+                         help="per-client token-bucket refill (tx/s)")
+    gateway.add_argument("--queue", type=int, default=300,
+                         help="gateway batch-queue capacity")
+    gateway.add_argument("--in-flight", type=int, default=600,
+                         help="gateway end-to-end admission window")
+    gateway.add_argument("--retries", type=int, default=0,
+                         help="client retries after a retryable shed")
+    gateway.add_argument("--invalid", type=float, default=0.0,
+                         help="fraction of forged-signature submissions")
+    gateway.add_argument("--seed", type=int, default=0)
+    gateway.set_defaults(fn=cmd_gateway)
+
     def add_scenario_args(p) -> None:
         p.add_argument(
             "--target",
-            choices=("consensus", "system", "durable"),
+            choices=("consensus", "system", "durable", "gateway"),
             default="consensus",
         )
         p.add_argument("--protocol", default="raft",
                        help="consensus protocol (and system orderer)")
         p.add_argument("--architecture", default="xov",
-                       help="system architecture (with --target system)")
+                       help="system architecture "
+                       "(with --target system/gateway)")
         p.add_argument("--n", type=int, default=4, help="cluster size")
         p.add_argument("--txs", type=int, default=4)
         p.add_argument(

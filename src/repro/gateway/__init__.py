@@ -1,0 +1,27 @@
+"""Front-door gateway tier: admission, rate limiting, batching, and the
+end-to-end latency ledger (ROADMAP item 1; experiment family E22)."""
+
+from repro.gateway.core import (
+    RETRYABLE_REASONS,
+    SHED_REASONS,
+    AdmissionDecision,
+    Gateway,
+    GatewayConfig,
+    TokenBucket,
+)
+from repro.gateway.ledger import LatencyLedger, LatencyReport, TxTrace
+from repro.gateway.run import GatewayReport, GatewayRun
+
+__all__ = [
+    "RETRYABLE_REASONS",
+    "SHED_REASONS",
+    "AdmissionDecision",
+    "Gateway",
+    "GatewayConfig",
+    "GatewayReport",
+    "GatewayRun",
+    "LatencyLedger",
+    "LatencyReport",
+    "TokenBucket",
+    "TxTrace",
+]

@@ -68,7 +68,8 @@ def random_plan(scenario: ScenarioSpec, rng: random.Random,
     may (usually does) come with a later recovery; at most one partition
     window is scheduled and always heals; message faults are windowed
     with bounded probability so they degrade rather than sever.
-    For system targets the reference orderer ``r0`` is never crashed —
+    For system and gateway targets the reference orderer ``r0`` is never
+    crashed —
     block delivery is observed through it, so crashing it only measures
     the observer, not the protocols. For durable targets every storage
     node is fair game (the never-crashing ``orderer`` is not a replica),
@@ -81,7 +82,7 @@ def random_plan(scenario: ScenarioSpec, rng: random.Random,
     budget = scenario.fault_budget
     faults: list[FaultSpec] = []
     n_faults = rng.randint(1, max(1, max_faults))
-    if scenario.target == "system":
+    if scenario.target in ("system", "gateway"):
         crash_candidates = list(replicas[1:])  # r0 = reference orderer
     elif scenario.target == "durable":
         crash_candidates = list(replicas)  # orderer is outside replica_ids

@@ -41,16 +41,21 @@ class ScenarioSpec:
 
     ``target`` is ``"consensus"`` (a ``ConsensusCluster`` of
     ``protocol``), ``"system"`` (the ``architecture`` from
-    ``repro.core.SYSTEMS`` ordering through ``protocol``), or
+    ``repro.core.SYSTEMS`` ordering through ``protocol``),
     ``"durable"`` (a :class:`~repro.storage.durable.DurableCluster`:
     crash-recoverable nodes with WAL + snapshot storage behind seeded
     fault-injected backends — flags ``torn-disk`` / ``lying-disk``
-    select the storage fault profile). Consensus scenarios demand
-    liveness by default — every within-budget schedule must still
-    decide; system scenarios only demand safety (XOV may abort under
-    contention, but must never commit conflicting writes); durable
-    scenarios demand both liveness (every recovered node catches back
-    up) and the serial-oracle equivalence audit.
+    select the storage fault profile), or ``"gateway"`` (an open-loop
+    client population firing through the :mod:`repro.gateway` admission
+    tier into ``architecture``, with client-side retries on). Consensus
+    scenarios demand liveness by default — every within-budget schedule
+    must still decide; system scenarios only demand safety (XOV may
+    abort under contention, but must never commit conflicting writes);
+    durable scenarios demand both liveness (every recovered node
+    catches back up) and the serial-oracle equivalence audit; gateway
+    scenarios demand safety plus *accounting*: no admitted transaction
+    may be silently lost — every arrival ends committed, aborted, shed
+    with a reason, or surfaced as a timeout.
     """
 
     target: str = "consensus"
@@ -70,11 +75,14 @@ class ScenarioSpec:
     invariants: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
-        if self.target not in ("consensus", "system", "durable"):
+        if self.target not in ("consensus", "system", "durable", "gateway"):
             raise ConfigError(f"unknown scenario target {self.target!r}")
         if self.protocol not in PROTOCOLS:
             raise ConfigError(f"unknown protocol {self.protocol!r}")
-        if self.target == "system" and self.architecture not in SYSTEMS:
+        if (
+            self.target in ("system", "gateway")
+            and self.architecture not in SYSTEMS
+        ):
             raise ConfigError(f"unknown architecture {self.architecture!r}")
         unknown = [
             name for name in self.invariants if name not in MONITOR_REGISTRY
@@ -117,7 +125,7 @@ class ScenarioSpec:
             "submit_span": self.submit_span,
             "require_liveness": self.require_liveness,
         }
-        if self.target == "system":
+        if self.target in ("system", "gateway"):
             out["architecture"] = self.architecture
         if self.flags:
             out["flags"] = list(self.flags)
@@ -206,6 +214,8 @@ def run_scenario(
             return _run_consensus(scenario, plan)
         if scenario.target == "durable":
             return _run_durable(scenario, plan)
+        if scenario.target == "gateway":
+            return _run_gateway(scenario, plan)
         return _run_system(scenario, plan)
 
 
@@ -395,6 +405,127 @@ def _run_system(scenario: ScenarioSpec, plan: PlanSpec) -> ScenarioResult:
         violations=violations,
         committed=result.committed,
         aborted=result.aborted,
+    )
+
+
+def _run_gateway(scenario: ScenarioSpec, plan: PlanSpec) -> ScenarioResult:
+    """One chaos run against the full client → gateway → system path.
+
+    Safety is audited exactly as for the ``system`` target (standard
+    monitors, ledger linkage, serializable commit). On top of that the
+    gateway target audits *accounting*: every open-loop arrival must
+    end in exactly one terminal status, the terminal tallies must sum
+    back to the arrival count, and the gateway's bounded-queue
+    telemetry must respect its configured bounds — a crash or partition
+    may strand transactions (they surface as timeouts), but nothing may
+    be silently lost.
+    """
+    from repro.gateway import GatewayConfig, GatewayRun
+    from repro.workloads.openloop import OpenLoopConfig, OpenLoopWorkload, Phase
+
+    last_fault = max(
+        (fault.end if fault.end is not None else fault.time
+         for fault in plan.faults),
+        default=0.0,
+    )
+    # Traffic must outlive the last fault window so shedding and retry
+    # paths actually run under the injected chaos.
+    duration = max(2.0, min(last_fault + 1.0, scenario.timeout / 2.0))
+    rate = max(50.0, scenario.txs * 12.5)
+    workload = OpenLoopWorkload(OpenLoopConfig(
+        clients=64,
+        client_theta=0.9,
+        n_keys=32,
+        key_theta=0.8,
+        invalid_fraction=0.02,
+        phases=(Phase("steady", duration, rate),),
+        seed=scenario.seed,
+    ))
+    gateway_config = GatewayConfig(
+        # Hot clients exceed this budget under the Zipfian skew, so the
+        # rate-limited shed + retry paths run on every schedule.
+        rate=max(2.0, rate / 16.0),
+        burst=5.0,
+        queue_capacity=64,
+        max_in_flight=256,
+        batch_size=10,
+        max_retries=2,
+    )
+    run = GatewayRun(
+        scenario.architecture,
+        workload,
+        gateway_config=gateway_config,
+        system_config=SystemConfig(
+            orderers=scenario.cluster_n,
+            protocol=scenario.protocol,
+            block_size=10,
+            seed=scenario.seed,
+            max_time=scenario.timeout,
+        ),
+    )
+    monitors = _make_monitors(scenario)
+    for monitor in monitors:
+        run.system.cluster.add_monitor(monitor)
+    plan.build().apply(run.system.sim, run.system.cluster.network)
+    report = run.run()
+    violations: list[str] = []
+    for monitor in monitors:
+        monitor.check()
+        violations.extend(monitor.violations)
+    committed = run.system.committed_tx_ids()
+    violations.extend(verify_ledger_linkage(run.system.ledger, committed))
+    violations.extend(
+        verify_serializable_commit(
+            run.system.ledger,
+            run.system.store,
+            run.system.registry,
+            committed,
+        )
+    )
+    latency = report.latency
+    stuck = sorted(t.tx_id for t in run.ledger if not t.terminal)
+    if stuck:
+        violations.append(
+            f"accounting: {len(stuck)} transactions never reached a "
+            f"terminal status ({', '.join(stuck[:5])}…)"
+        )
+    accounted = (
+        latency.committed + latency.aborted
+        + latency.shed_total + latency.timeouts
+    )
+    if accounted != latency.arrivals:
+        violations.append(
+            "accounting: terminal tallies do not sum to arrivals "
+            f"({latency.committed} committed + {latency.aborted} aborted "
+            f"+ {latency.shed_total} shed + {latency.timeouts} timeouts "
+            f"!= {latency.arrivals})"
+        )
+    if latency.arrivals != len(run.arrivals):
+        violations.append(
+            f"accounting: ledger saw {latency.arrivals} arrivals, "
+            f"workload generated {len(run.arrivals)}"
+        )
+    gateway = run.gateway
+    if gateway.max_queued_seen > gateway_config.queue_capacity:
+        violations.append(
+            f"bounds: batch queue reached {gateway.max_queued_seen} "
+            f"> capacity {gateway_config.queue_capacity}"
+        )
+    if gateway.max_in_flight_seen > gateway_config.max_in_flight:
+        violations.append(
+            f"bounds: in-flight window reached "
+            f"{gateway.max_in_flight_seen} > {gateway_config.max_in_flight}"
+        )
+    if scenario.require_liveness and latency.committed == 0:
+        violations.append(
+            "liveness: nothing committed through the gateway "
+            f"(sheds={latency.shed_total}, timeouts={latency.timeouts})"
+        )
+    return ScenarioResult(
+        decided=True,
+        violations=violations,
+        committed=latency.committed,
+        aborted=latency.aborted,
     )
 
 

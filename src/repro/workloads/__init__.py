@@ -8,17 +8,31 @@ cross-enterprise ratio, cross-shard ratio, and constraint pressure.
 """
 
 from repro.workloads.kv import KvWorkload, ZipfSampler
+from repro.workloads.openloop import (
+    Arrival,
+    OpenLoopConfig,
+    OpenLoopWorkload,
+    Phase,
+    ScalableZipfSampler,
+    ramp_steady_burst,
+)
 from repro.workloads.smallbank import SmallBankWorkload, smallbank_registry
 from repro.workloads.supply_chain import SupplyChainWorkload, supply_chain_registry
 from repro.workloads.crowdworking import CrowdworkWorkload
 from repro.workloads.ycsb import ycsb, profiles as ycsb_profiles
 
 __all__ = [
+    "Arrival",
     "CrowdworkWorkload",
     "KvWorkload",
+    "OpenLoopConfig",
+    "OpenLoopWorkload",
+    "Phase",
+    "ScalableZipfSampler",
     "SmallBankWorkload",
     "SupplyChainWorkload",
     "ZipfSampler",
+    "ramp_steady_burst",
     "smallbank_registry",
     "supply_chain_registry",
     "ycsb",

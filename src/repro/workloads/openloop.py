@@ -1,0 +1,327 @@
+"""Open-loop load generation over millions of simulated clients.
+
+Closed-loop benchmarks (a fixed transaction list injected as fast as
+the system drains it) can never show saturation: the injector slows
+down with the system. The end-to-end methodology this reproduces
+(Geyer et al., arXiv:2311.15433) is *open loop* — arrivals fire on
+their own Poisson clock regardless of how the system is coping, so
+p50/p99 latency and goodput under overload are real measurements.
+
+Three pieces:
+
+* :class:`ScalableZipfSampler` — the YCSB/Gray rejection-free Zipfian
+  generator: O(n) setup once (one zeta sum, cached per (n, theta)),
+  O(1) per draw, so a client population in the millions is practical
+  where the exact inverse-CDF table of
+  :class:`~repro.workloads.kv.ZipfSampler` would not be.
+* :class:`Phase` — a piecewise load shape: constant plateaus, linear
+  ramps (Lewis–Shedler thinning keeps arrivals exact within the
+  phase), and bursts are just short high-rate phases.
+* :class:`OpenLoopWorkload` — composes client skew, key skew, a
+  read/write mix, an optional fraction of invalid signatures, and the
+  phase schedule into a deterministic, sorted list of
+  :class:`Arrival` records. Transaction ids are derived from the
+  arrival index (never from the process-global counter), so two
+  same-seed schedules are identical byte for byte — across processes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.common.errors import ConfigError
+from repro.common.types import Operation, OpType, Transaction
+
+#: zeta(n, theta) cache — the only O(n) cost, paid once per shape.
+_ZETA_CACHE: dict[tuple[int, float], float] = {}
+
+
+def zeta(n: int, theta: float) -> float:
+    """Generalized harmonic number H_{n,theta} = sum_{i=1..n} i^-theta."""
+    key = (n, round(theta, 9))
+    cached = _ZETA_CACHE.get(key)
+    if cached is None:
+        cached = _ZETA_CACHE[key] = float(
+            sum(i ** -theta for i in range(1, n + 1))
+        )
+    return cached
+
+
+class ScalableZipfSampler:
+    """Zipf-distributed ranks in ``[0, n)`` with O(1) draws.
+
+    The Gray et al. quantile approximation used by YCSB's
+    ``ZipfianGenerator``: after one zeta(n, theta) sum, each draw costs
+    two ``pow`` calls — no table, so ``n`` in the millions is fine.
+    ``theta = 0`` degenerates to uniform; ``theta = 1`` is excluded
+    (the closed form divides by ``1 - theta``; use 0.99…).
+    """
+
+    __slots__ = ("n", "theta", "_rng", "_alpha", "_eta", "_zetan", "_half")
+
+    def __init__(self, n: int, theta: float, rng: random.Random) -> None:
+        if n < 1:
+            raise ConfigError("ScalableZipfSampler needs at least one item")
+        if theta < 0:
+            raise ConfigError("theta must be non-negative")
+        if abs(theta - 1.0) < 1e-9:
+            raise ConfigError(
+                "theta=1 hits a pole of the Zipf quantile approximation; "
+                "use 0.99 or 1.01"
+            )
+        self.n = n
+        self.theta = theta
+        self._rng = rng
+        if theta == 0:
+            return
+        self._zetan = zeta(n, theta)
+        zeta2 = zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / (
+            1.0 - zeta2 / self._zetan
+        )
+        self._half = 1.0 + 0.5 ** theta
+
+    def sample(self) -> int:
+        if self.theta == 0:
+            return self._rng.randrange(self.n)
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < self._half:
+            return 1
+        rank = int(self.n * (self._eta * u - self._eta + 1.0) ** self._alpha)
+        return rank if rank < self.n else self.n - 1
+
+    def top_mass(self, k: int) -> float:
+        """Analytic probability mass of the ``k`` hottest ranks — the
+        oracle the skew sanity tests compare empirical draws against."""
+        if self.theta == 0:
+            return k / self.n
+        return zeta(k, self.theta) / zeta(self.n, self.theta)
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One segment of the load shape.
+
+    ``rate`` is the arrival rate (tx/s) through the phase; a non-``None``
+    ``start_rate`` makes it a linear ramp from ``start_rate`` to
+    ``rate``. A burst is simply a short phase at a high constant rate.
+    """
+
+    name: str
+    duration: float
+    rate: float
+    start_rate: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ConfigError(f"phase {self.name!r} needs a positive duration")
+        if self.rate < 0 or (self.start_rate is not None and self.start_rate < 0):
+            raise ConfigError(f"phase {self.name!r} rates must be non-negative")
+        if max(self.rate, self.start_rate or 0.0) <= 0:
+            raise ConfigError(f"phase {self.name!r} never fires an arrival")
+
+    def rate_at(self, offset: float) -> float:
+        """Instantaneous rate ``offset`` seconds into the phase."""
+        if self.start_rate is None:
+            return self.rate
+        return self.start_rate + (self.rate - self.start_rate) * (
+            offset / self.duration
+        )
+
+    def expected_arrivals(self) -> float:
+        """Integral of the rate over the phase (mean of the Poisson count)."""
+        if self.start_rate is None:
+            return self.rate * self.duration
+        return (self.start_rate + self.rate) / 2.0 * self.duration
+
+
+def ramp_steady_burst(
+    rate: float,
+    steady: float = 2.0,
+    ramp: float = 0.5,
+    burst: float = 0.0,
+    burst_multiplier: float = 3.0,
+) -> tuple[Phase, ...]:
+    """The canonical E22 shape: ramp up, hold, optionally burst."""
+    phases = [
+        Phase("ramp", ramp, rate, start_rate=max(rate / 10.0, 1.0)),
+        Phase("steady", steady, rate),
+    ]
+    if burst > 0:
+        phases.append(Phase("burst", burst, rate * burst_multiplier))
+    return tuple(phases)
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One open-loop submission: who fires what, when, and whether the
+    signature it will carry is valid."""
+
+    index: int
+    time: float
+    client: str
+    tx: Transaction
+    sig_valid: bool = True
+
+
+@dataclass
+class OpenLoopConfig:
+    """Load-generator knobs.
+
+    Attributes:
+        clients: Size of the simulated client population (ids are drawn
+            Zipfian from this space — millions are practical).
+        client_theta: Zipf skew of *who submits* (0 = uniform).
+        n_keys: Key-space size for the KV mix.
+        key_theta: Zipf skew of *what they touch*.
+        read_fraction / rmw_fraction / keys_per_read: Same mix knobs as
+            :class:`~repro.workloads.kv.KvWorkload`.
+        invalid_fraction: Share of submissions carrying a forged
+            signature (exercises the gateway's pre-check shed path).
+        phases: The load shape; see :class:`Phase`.
+        seed: Master seed; the schedule is a pure function of config.
+    """
+
+    clients: int = 1_000_000
+    client_theta: float = 0.9
+    n_keys: int = 10_000
+    key_theta: float = 0.8
+    read_fraction: float = 0.3
+    rmw_fraction: float = 0.5
+    keys_per_read: int = 2
+    invalid_fraction: float = 0.0
+    phases: tuple[Phase, ...] = field(
+        default_factory=lambda: (Phase("steady", 2.0, 500.0),)
+    )
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ConfigError("clients must be >= 1")
+        if not self.phases:
+            raise ConfigError("at least one phase is required")
+        if not 0 <= self.read_fraction <= 1:
+            raise ConfigError("read_fraction must be in [0, 1]")
+        if not 0 <= self.rmw_fraction <= 1:
+            raise ConfigError("rmw_fraction must be in [0, 1]")
+        if not 0 <= self.invalid_fraction <= 1:
+            raise ConfigError("invalid_fraction must be in [0, 1]")
+
+    @property
+    def duration(self) -> float:
+        return sum(phase.duration for phase in self.phases)
+
+    @property
+    def offered_load(self) -> float:
+        """Mean offered arrival rate over the whole schedule (tx/s)."""
+        total = sum(phase.expected_arrivals() for phase in self.phases)
+        return total / self.duration
+
+    def phase_windows(self) -> list[tuple[str, float, float]]:
+        """(name, start, end) per phase, in schedule order."""
+        windows, at = [], 0.0
+        for phase in self.phases:
+            windows.append((phase.name, at, at + phase.duration))
+            at += phase.duration
+        return windows
+
+
+class OpenLoopWorkload:
+    """Deterministic generator of the full arrival schedule."""
+
+    def __init__(self, config: OpenLoopConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._clients = ScalableZipfSampler(
+            config.clients, config.client_theta, self._rng
+        )
+        self._keys = ScalableZipfSampler(
+            config.n_keys, config.key_theta, self._rng
+        )
+        self._index = 0
+
+    # -- arrival times ------------------------------------------------------
+
+    def _phase_times(self, phase: Phase, start: float) -> Iterator[float]:
+        """Poisson arrival times within ``[start, start + duration)``.
+
+        Constant phases draw exponential inter-arrivals directly; ramps
+        use Lewis–Shedler thinning against the phase's max rate, so the
+        inhomogeneous process stays exact and every arrival lands
+        strictly inside the phase window.
+        """
+        rng = self._rng
+        end = start + phase.duration
+        if phase.start_rate is None:
+            t = start
+            while True:
+                t += rng.expovariate(phase.rate)
+                if t >= end:
+                    return
+                yield t
+        else:
+            rate_max = max(phase.rate, phase.start_rate)
+            t = start
+            while True:
+                t += rng.expovariate(rate_max)
+                if t >= end:
+                    return
+                if rng.random() * rate_max <= phase.rate_at(t - start):
+                    yield t
+
+    # -- transactions -------------------------------------------------------
+
+    def _make_tx(self, index: int, client: str) -> Transaction:
+        """One KV transaction with a deterministic, process-independent
+        id (``Transaction.create`` derives ids from a process-global
+        counter, which would break cross-process byte-identity)."""
+        rng = self._rng
+        roll = rng.random()
+        if roll < self.config.read_fraction:
+            keys = tuple(
+                f"k{self._keys.sample()}"
+                for _ in range(self.config.keys_per_read)
+            )
+            contract, args = "read_many", keys
+            ops = tuple(Operation(OpType.READ, k) for k in keys)
+        else:
+            key = f"k{self._keys.sample()}"
+            if rng.random() < self.config.rmw_fraction:
+                contract, args = "increment", (key, 1)
+                ops = (Operation(OpType.READ_WRITE, key),)
+            else:
+                contract, args = "kv_set", (key, index)
+                ops = (Operation(OpType.WRITE, key),)
+        return Transaction(
+            tx_id=f"g{index:08d}",
+            contract=contract,
+            args=args,
+            submitter=client,
+            declared_ops=ops,
+        )
+
+    # -- the schedule -------------------------------------------------------
+
+    def arrivals(self) -> list[Arrival]:
+        """The full schedule, sorted by time, deterministic per config."""
+        out: list[Arrival] = []
+        invalid = self.config.invalid_fraction
+        at = 0.0
+        for phase in self.config.phases:
+            for t in self._phase_times(phase, at):
+                client = f"c{self._clients.sample()}"
+                tx = self._make_tx(self._index, client)
+                sig_valid = invalid <= 0 or self._rng.random() >= invalid
+                out.append(Arrival(
+                    index=self._index, time=t, client=client, tx=tx,
+                    sig_valid=sig_valid,
+                ))
+                self._index += 1
+            at += phase.duration
+        return out

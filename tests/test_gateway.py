@@ -1,0 +1,294 @@
+"""Front-door gateway tier: admission determinism, token-bucket
+conservation, queue-bound invariants, retry/shed paths, batching, and
+end-to-end stamp monotonicity (ROADMAP item 1, experiment family E22)."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.types import Operation, OpType, Transaction
+from repro.core import SystemConfig
+from repro.crypto.signatures import HmacSignatureScheme, MembershipService
+from repro.gateway import (
+    Gateway,
+    GatewayConfig,
+    GatewayRun,
+    LatencyLedger,
+)
+from repro.sim.core import Simulation
+from repro.workloads.openloop import OpenLoopConfig, OpenLoopWorkload, Phase
+
+
+def make_tx(i: int, client: str = "c0") -> Transaction:
+    return Transaction(
+        tx_id=f"t{i:06d}",
+        contract="kv_set",
+        args=(f"k{i}", i),
+        submitter=client,
+        declared_ops=(Operation(OpType.WRITE, f"k{i}"),),
+    )
+
+
+def make_gateway(sim: Simulation, batches: list, **overrides) -> Gateway:
+    shed = []
+    gateway = Gateway(
+        sim,
+        GatewayConfig(**overrides),
+        sink=batches.append,
+        on_shed=lambda tx, reason: shed.append((tx.tx_id, reason)),
+    )
+    gateway.shed_log = shed
+    return gateway
+
+
+def small_run(seed: int, architecture: str = "ox") -> GatewayRun:
+    workload = OpenLoopWorkload(OpenLoopConfig(
+        clients=1000,
+        invalid_fraction=0.05,
+        phases=(Phase("steady", 1.0, 300.0),),
+        seed=seed,
+    ))
+    return GatewayRun(
+        architecture,
+        workload,
+        gateway_config=GatewayConfig(
+            rate=50.0, burst=5.0, queue_capacity=64, max_in_flight=128,
+            batch_size=20,
+        ),
+        system_config=SystemConfig(block_size=20, seed=seed, max_time=30.0),
+    )
+
+
+# -- admission determinism ----------------------------------------------------
+
+
+def test_same_seed_runs_are_byte_identical():
+    first = small_run(seed=7).run()
+    second = small_run(seed=7).run()
+    assert first.fingerprint == second.fingerprint
+    assert first.to_jsonable() == second.to_jsonable()
+
+
+def test_different_seeds_diverge():
+    assert small_run(seed=7).run().fingerprint != \
+        small_run(seed=8).run().fingerprint
+
+
+# -- token-bucket conservation ------------------------------------------------
+
+
+def test_token_bucket_conservation_per_client():
+    """Under a randomized arrival schedule, no client may ever get more
+    than burst + rate * window admissions — token conservation."""
+    rate, burst, window = 10.0, 5.0, 8.0
+    sim = Simulation(seed=0)
+    batches: list = []
+    gateway = make_gateway(
+        sim, batches,
+        rate=rate, burst=burst,
+        queue_capacity=100_000, max_in_flight=100_000,
+        batch_size=1000, batch_interval=5.0,
+    )
+    rng = random.Random(42)
+    clients = [f"c{i}" for i in range(5)]
+    for i in range(600):
+        client = rng.choice(clients)
+        sim.schedule_at(
+            rng.uniform(0.0, window), gateway.submit, make_tx(i, client)
+        )
+    sim.run()
+    ceiling = burst + rate * window
+    for client in clients:
+        admitted = sum(
+            1 for trace in gateway.ledger
+            if trace.client == client and trace.admit is not None
+        )
+        assert admitted <= ceiling + 1e-9, (client, admitted, ceiling)
+    assert gateway.counters["shed.rate-limited"] > 0  # the bound bit
+    assert (
+        gateway.counters["arrivals"]
+        == gateway.counters["admitted"] + sum(gateway.shed_counts().values())
+    )
+
+
+# -- queue bounds under flood -------------------------------------------------
+
+
+def test_queue_bounds_hold_under_flood():
+    """An instantaneous flood from distinct clients can never push the
+    batch queue or the in-flight window past their configured bounds;
+    the excess is shed loudly, never queued silently."""
+    sim = Simulation(seed=0)
+    batches: list = []
+    gateway = make_gateway(
+        sim, batches,
+        rate=1e6, burst=1e6,  # rate limiting out of the way
+        queue_capacity=16, max_in_flight=32,
+        batch_size=8, batch_interval=0.5,
+    )
+    for i in range(500):
+        sim.schedule_at(
+            i * 1e-6, gateway.submit, make_tx(i, client=f"c{i}")
+        )
+    sim.run()
+    assert gateway.max_queued_seen <= 16
+    assert gateway.max_in_flight_seen <= 32
+    sheds = gateway.shed_counts()
+    assert sheds["queue-full"] + sheds["overloaded"] > 0
+    assert gateway.counters["arrivals"] == 500
+    assert (
+        gateway.counters["admitted"] + sum(sheds.values()) == 500
+    )
+    assert len(gateway.shed_log) == sum(sheds.values())
+    # Nobody resolved anything, so admissions are capped by the window.
+    assert gateway.counters["admitted"] <= 32
+
+
+# -- backpressure, retry and shed paths ---------------------------------------
+
+
+def test_queue_full_rejection_carries_backpressure_signal():
+    sim = Simulation(seed=0)
+    gateway = make_gateway(
+        sim, [],
+        rate=1e6, burst=1e6, queue_capacity=1, max_in_flight=100,
+        batch_size=50, batch_interval=0.25,
+    )
+    assert gateway.submit(make_tx(0, "c0")).admitted
+    decision = gateway.submit(make_tx(1, "c1"))
+    assert not decision.admitted
+    assert decision.reason == "queue-full"
+    assert decision.retry_after == pytest.approx(0.25)
+
+
+def test_rate_limited_client_retries_and_eventually_admits():
+    sim = Simulation(seed=0)
+    batches: list = []
+    gateway = make_gateway(
+        sim, batches,
+        rate=1.0, burst=1.0, queue_capacity=100, max_in_flight=100,
+        batch_size=1, batch_interval=0.05,
+        max_retries=3, retry_backoff=0.1,
+    )
+    sim.schedule_at(0.0, gateway.submit, make_tx(0, "c0"))
+    sim.schedule_at(0.0, gateway.submit, make_tx(1, "c0"))
+    sim.run()
+    assert gateway.counters["retries"] >= 1
+    assert gateway.counters["admitted"] == 2
+    assert gateway.ledger.trace("t000001").attempts > 1
+    assert gateway.shed_counts() == {
+        "bad-signature": 0, "rate-limited": 0,
+        "queue-full": 0, "overloaded": 0,
+    }
+
+
+def test_forged_and_revoked_signatures_shed_without_retry():
+    membership = MembershipService(scheme=HmacSignatureScheme())
+    membership.register("good")
+    membership.register("gone")
+    sim = Simulation(seed=0)
+    gateway = Gateway(
+        sim,
+        GatewayConfig(max_retries=5),
+        sink=lambda batch: None,
+        membership=membership,
+    )
+    tx = make_tx(0, "good")
+    signature = membership.sign("good", tx.digest().encode())
+    assert gateway.submit(tx, signature).admitted
+
+    forged = make_tx(1, "good")
+    decision = gateway.submit(forged, b"forged")
+    assert not decision.admitted and not decision.will_retry
+    assert decision.reason == "bad-signature"
+
+    revoked_tx = make_tx(2, "gone")
+    stale = membership.sign("gone", revoked_tx.digest().encode())
+    membership.revoke("gone")
+    decision = gateway.submit(revoked_tx, stale)
+    assert decision.reason == "bad-signature"
+    assert gateway.counters["shed.bad-signature"] == 2
+
+
+# -- batching -----------------------------------------------------------------
+
+
+def test_batcher_cuts_on_size_and_timer():
+    sim = Simulation(seed=0)
+    batches: list = []
+    gateway = make_gateway(
+        sim, batches,
+        rate=1e6, burst=1e6, queue_capacity=100, max_in_flight=100,
+        batch_size=3, batch_interval=0.2,
+    )
+    for i in range(7):
+        sim.schedule_at(0.0, gateway.submit, make_tx(i, client=f"c{i}"))
+    sim.run()
+    assert [len(batch) for batch in batches] == [3, 3, 1]
+    assert gateway.counters["batches"] == 3
+
+
+def test_flush_releases_partial_batch():
+    sim = Simulation(seed=0)
+    batches: list = []
+    gateway = make_gateway(
+        sim, batches,
+        rate=1e6, burst=1e6, queue_capacity=100, max_in_flight=100,
+        batch_size=50, batch_interval=60.0,
+    )
+    sim.schedule_at(0.0, gateway.submit, make_tx(0, "c0"))
+    sim.schedule_at(0.0, gateway.submit, make_tx(1, "c1"))
+    sim.run(until=1.0)
+    assert batches == []
+    gateway.flush()
+    assert [len(batch) for batch in batches] == [2]
+
+
+# -- end-to-end stamps and accounting -----------------------------------------
+
+
+def test_stamps_are_monotone_and_accounting_conserved():
+    run = small_run(seed=3)
+    report = run.run()
+    latency = report.latency
+    assert latency.arrivals == len(run.arrivals) > 0
+    assert latency.committed > 0
+    assert (
+        latency.committed + latency.aborted
+        + latency.shed_total + latency.timeouts
+        == latency.arrivals
+    )
+    for trace in run.ledger:
+        assert trace.terminal
+        if trace.admit is not None:
+            assert trace.admit >= trace.submit
+        if trace.status == "committed":
+            assert trace.submit <= trace.admit <= trace.order <= trace.commit
+        if trace.status == "shed":
+            assert trace.reason in (
+                "bad-signature", "rate-limited", "queue-full", "overloaded"
+            )
+    # The forged slice of the workload must show up as explicit sheds.
+    assert latency.sheds.get("bad-signature", 0) > 0
+
+
+def test_ledger_rejects_double_terminal_transitions():
+    ledger = LatencyLedger()
+    ledger.submitted("t1", "c0", 0.0)
+    ledger.shed("t1", "rate-limited", 0.1)
+    with pytest.raises(ConfigError):
+        ledger.committed("t1", 0.2)
+    with pytest.raises(ConfigError):
+        ledger.shed("t1", "queue-full", 0.3)
+
+
+def test_finalize_closes_leftovers_as_timeouts():
+    ledger = LatencyLedger()
+    ledger.submitted("t1", "c0", 0.0)
+    ledger.submitted("t2", "c0", 0.1)
+    ledger.admitted("t2", 0.2)
+    assert ledger.finalize(5.0) == 2
+    assert all(trace.status == "timeout" for trace in ledger)
+    report = ledger.report()
+    assert report.timeouts == 2 and report.arrivals == 2

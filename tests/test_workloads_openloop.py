@@ -1,0 +1,215 @@
+"""Open-loop load generator: Zipfian skew against the analytic oracle,
+Poisson inter-arrival statistics, phase boundary exactness, and
+cross-run determinism of the full arrival schedule."""
+
+import math
+import random
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workloads.openloop import (
+    OpenLoopConfig,
+    OpenLoopWorkload,
+    Phase,
+    ScalableZipfSampler,
+    ramp_steady_burst,
+    zeta,
+)
+
+# -- Zipfian sampler ----------------------------------------------------------
+
+
+def test_zipf_top_ranks_match_analytic_mass():
+    """Empirical mass of the hottest 1% of ranks must sit within a few
+    points of the closed-form zeta ratio the sampler targets."""
+    n, theta, draws = 1000, 0.8, 40_000
+    sampler = ScalableZipfSampler(n, theta, random.Random(1))
+    hot = n // 100
+    hits = sum(1 for _ in range(draws) if sampler.sample() < hot)
+    expected = sampler.top_mass(hot)
+    assert expected == pytest.approx(zeta(hot, theta) / zeta(n, theta))
+    assert hits / draws == pytest.approx(expected, abs=0.02)
+
+
+def test_zipf_rank_zero_is_hottest():
+    sampler = ScalableZipfSampler(10_000, 0.9, random.Random(2))
+    counts = {}
+    for _ in range(20_000):
+        rank = sampler.sample()
+        assert 0 <= rank < 10_000
+        counts[rank] = counts.get(rank, 0) + 1
+    assert max(counts, key=counts.get) == 0
+    assert counts[0] / 20_000 == pytest.approx(
+        sampler.top_mass(1), abs=0.02
+    )
+
+
+def test_zipf_theta_zero_is_uniform():
+    sampler = ScalableZipfSampler(100, 0.0, random.Random(3))
+    draws = [sampler.sample() for _ in range(20_000)]
+    assert sampler.top_mass(10) == pytest.approx(0.1)
+    mean = sum(draws) / len(draws)
+    assert mean == pytest.approx(49.5, abs=2.0)
+
+
+def test_zipf_rejects_the_theta_one_pole():
+    with pytest.raises(ConfigError):
+        ScalableZipfSampler(100, 1.0, random.Random(0))
+    # Either side of the pole is fine.
+    ScalableZipfSampler(100, 0.99, random.Random(0))
+    ScalableZipfSampler(100, 1.01, random.Random(0))
+
+
+def test_zipf_scales_to_millions_of_clients():
+    sampler = ScalableZipfSampler(2_000_000, 0.9, random.Random(4))
+    draws = [sampler.sample() for _ in range(2_000)]
+    assert all(0 <= rank < 2_000_000 for rank in draws)
+    # Skew survives at scale: the top ~0.005% dominates uniform mass.
+    hot = sum(1 for rank in draws if rank < 100)
+    assert hot / len(draws) > 100 / 2_000_000 * 50
+
+
+# -- Poisson arrival statistics -----------------------------------------------
+
+
+def test_constant_phase_interarrival_statistics():
+    """Exponential inter-arrivals: mean 1/rate and coefficient of
+    variation 1, both within sampling tolerance on a fixed seed."""
+    rate, duration = 200.0, 20.0
+    config = OpenLoopConfig(
+        clients=100, phases=(Phase("steady", duration, rate),), seed=5
+    )
+    times = [a.time for a in OpenLoopWorkload(config).arrivals()]
+    assert len(times) == pytest.approx(rate * duration, rel=0.05)
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    mean = sum(gaps) / len(gaps)
+    assert mean == pytest.approx(1.0 / rate, rel=0.06)
+    var = sum((g - mean) ** 2 for g in gaps) / (len(gaps) - 1)
+    assert math.sqrt(var) / mean == pytest.approx(1.0, abs=0.1)
+
+
+def test_poisson_counts_match_expected_arrivals_per_phase():
+    phases = ramp_steady_burst(400.0, steady=3.0, ramp=1.0, burst=0.5)
+    config = OpenLoopConfig(clients=100, phases=phases, seed=6)
+    arrivals = OpenLoopWorkload(config).arrivals()
+    for (name, start, end), phase in zip(config.phase_windows(), phases):
+        count = sum(1 for a in arrivals if start <= a.time < end)
+        expected = phase.expected_arrivals()
+        assert count == pytest.approx(expected, abs=4 * math.sqrt(expected)), (
+            name
+        )
+
+
+def test_ramp_phase_rate_actually_ramps():
+    config = OpenLoopConfig(
+        clients=100,
+        phases=(Phase("ramp", 4.0, 500.0, start_rate=50.0),),
+        seed=7,
+    )
+    arrivals = OpenLoopWorkload(config).arrivals()
+    first_half = sum(1 for a in arrivals if a.time < 2.0)
+    second_half = len(arrivals) - first_half
+    # Rate rises linearly 50 -> 500, so halves carry ~312 vs ~788.
+    assert second_half > 1.8 * first_half
+
+
+# -- phase boundaries ---------------------------------------------------------
+
+
+def test_phase_boundaries_are_exact():
+    """No arrival may land outside its phase window, on the boundary of
+    the next phase, or past the schedule's end — open-loop measurement
+    windows must be exact, not approximate."""
+    phases = (
+        Phase("ramp", 0.75, 800.0, start_rate=100.0),
+        Phase("steady", 1.5, 800.0),
+        Phase("burst", 0.25, 2400.0),
+    )
+    config = OpenLoopConfig(clients=1000, phases=phases, seed=8)
+    arrivals = OpenLoopWorkload(config).arrivals()
+    assert arrivals, "schedule generated nothing"
+    assert all(
+        a.time < b.time or (a.time == b.time and a.index < b.index)
+        for a, b in zip(arrivals, arrivals[1:])
+    )
+    windows = config.phase_windows()
+    assert windows[-1][2] == pytest.approx(config.duration)
+    for arrival in arrivals:
+        assert 0.0 <= arrival.time < config.duration
+    # Per-phase membership is well-defined and covers every arrival.
+    covered = 0
+    for _, start, end in windows:
+        covered += sum(1 for a in arrivals if start <= a.time < end)
+    assert covered == len(arrivals)
+
+
+def test_phase_validation_is_loud():
+    with pytest.raises(ConfigError):
+        Phase("bad", 0.0, 100.0)
+    with pytest.raises(ConfigError):
+        Phase("bad", 1.0, -5.0)
+    with pytest.raises(ConfigError):
+        Phase("bad", 1.0, 0.0)  # never fires
+    Phase("ramp-down-to-idle", 1.0, 0.0, start_rate=100.0)  # ok: ramps to 0
+
+
+def test_offered_load_is_the_time_weighted_mean():
+    phases = (
+        Phase("steady", 2.0, 100.0),
+        Phase("burst", 1.0, 400.0),
+        Phase("ramp", 1.0, 200.0, start_rate=0.0),
+    )
+    config = OpenLoopConfig(clients=10, phases=phases)
+    assert config.duration == pytest.approx(4.0)
+    assert config.offered_load == pytest.approx(
+        (200.0 + 400.0 + 100.0) / 4.0
+    )
+
+
+# -- determinism and schedule shape -------------------------------------------
+
+
+def test_schedule_is_deterministic_per_seed():
+    config = OpenLoopConfig(
+        clients=50_000, invalid_fraction=0.1,
+        phases=ramp_steady_burst(600.0, steady=1.0, burst=0.25), seed=9,
+    )
+    first = OpenLoopWorkload(config).arrivals()
+    second = OpenLoopWorkload(config).arrivals()
+    assert [
+        (a.index, a.time, a.client, a.tx.tx_id, a.sig_valid) for a in first
+    ] == [
+        (a.index, a.time, a.client, a.tx.tx_id, a.sig_valid) for a in second
+    ]
+    third = OpenLoopWorkload(
+        OpenLoopConfig(
+            clients=50_000, invalid_fraction=0.1,
+            phases=ramp_steady_burst(600.0, steady=1.0, burst=0.25), seed=10,
+        )
+    ).arrivals()
+    assert [a.time for a in first] != [a.time for a in third]
+
+
+def test_tx_ids_are_process_independent_and_clients_in_range():
+    config = OpenLoopConfig(
+        clients=1_000_000, phases=(Phase("steady", 0.5, 400.0),), seed=11
+    )
+    arrivals = OpenLoopWorkload(config).arrivals()
+    for arrival in arrivals:
+        assert arrival.tx.tx_id == f"g{arrival.index:08d}"
+        assert arrival.tx.submitter == arrival.client
+        rank = int(arrival.client[1:])
+        assert 0 <= rank < 1_000_000
+    invalid = [a for a in arrivals if not a.sig_valid]
+    assert not invalid  # invalid_fraction defaults to 0
+
+
+def test_invalid_fraction_marks_the_right_share():
+    config = OpenLoopConfig(
+        clients=100, invalid_fraction=0.2,
+        phases=(Phase("steady", 5.0, 400.0),), seed=12,
+    )
+    arrivals = OpenLoopWorkload(config).arrivals()
+    share = sum(1 for a in arrivals if not a.sig_valid) / len(arrivals)
+    assert share == pytest.approx(0.2, abs=0.03)
