@@ -339,6 +339,8 @@ def _scenario_from_args(args) -> ScenarioSpec:
         flags.append("torn-disk")
     if getattr(args, "lying_disk", False):
         flags.append("lying-disk")
+    if getattr(args, "paged", False):
+        flags.append("paged")
     flags = tuple(flags)
     return ScenarioSpec(
         target=args.target,
@@ -449,6 +451,8 @@ def _disk_roundtrip(args) -> dict:
             OsBackend(data_dir),
             policy=args.policy,
             snapshot_interval=args.snapshot_interval,
+            paged=getattr(args, "paged", False),
+            cache_bytes=getattr(args, "cache_bytes", 4 * 1024 * 1024),
         )
         result = recovered.recover(standard_registry)
         return {
@@ -458,7 +462,11 @@ def _disk_roundtrip(args) -> dict:
             "replayed": result.replayed,
             "torn": result.torn,
             "resync": result.resync,
+            "paged": recovered.paged,
+            "orphans_removed": result.orphans_removed,
             "tip_matches": result.tail.tip_hash() == chain.tip_hash(),
+            # With --paged this walks every key through the paged read
+            # path — the strongest oracle equivalence check there is.
             "state_root_matches": state_root(result.store) == root,
         }
     finally:
@@ -483,6 +491,8 @@ def cmd_recover(args) -> int:
         flags.append("torn-disk")
     if args.lying_disk:
         flags.append("lying-disk")
+    if args.paged:
+        flags.append("paged")
     scenario = ScenarioSpec(
         target="durable", n=args.n, txs=args.txs, seed=args.seed,
         flags=tuple(flags),
@@ -664,6 +674,11 @@ def build_parser() -> argparse.ArgumentParser:
             "persisting",
         )
         p.add_argument(
+            "--paged", action="store_true",
+            help="durable target: recovery serves reads straight from "
+            "blocked run files (paged store) instead of materializing",
+        )
+        p.add_argument(
             "--save-dir", default="",
             help="write a repro capsule per failure into this directory",
         )
@@ -705,6 +720,15 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument(
         "--lying-disk", action="store_true",
         help="fsyncs may report success without persisting",
+    )
+    recover.add_argument(
+        "--paged", action="store_true",
+        help="recover into a paged store reading blocked run files "
+        "directly (larger-than-RAM state path)",
+    )
+    recover.add_argument(
+        "--cache-bytes", type=int, default=4 * 1024 * 1024,
+        help="block-cache byte budget for --paged (default 4MB)",
     )
     recover.add_argument(
         "--data-dir", default="",

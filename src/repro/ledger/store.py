@@ -51,6 +51,14 @@ STORE_COUNTERS = {
     # snapshot runs, and entries written by those spills.
     "overlay_spills": 0,
     "overlay_spill_entries": 0,
+    # Paged read path (repro.storage.paged): point lookups served from
+    # blocked run files through the shared LRU block cache.
+    "paged_lookups": 0,
+    "filter_skips": 0,          # runs ruled out by the key filter
+    "filter_false_positives": 0,  # filter said maybe, block said no
+    "block_cache_hits": 0,
+    "block_cache_misses": 0,
+    "block_cache_evictions": 0,
 }
 
 
@@ -89,6 +97,13 @@ class VersionedValue:
 
 
 _MISSING = VersionedValue(None, NEVER_WRITTEN)
+
+#: Public alias of the missing-entry sentinel. Part of the read-contract
+#: seam the paged store (``repro.storage.paged``) implements: ``get`` /
+#: ``__contains__`` compare by *identity* against this object, so any
+#: subclass overriding :meth:`StateStore.get_versioned` must return this
+#: exact sentinel for absent keys, never an equal-valued copy.
+MISSING = _MISSING
 
 
 class StateSnapshot:

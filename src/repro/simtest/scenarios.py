@@ -45,7 +45,9 @@ class ScenarioSpec:
     ``"durable"`` (a :class:`~repro.storage.durable.DurableCluster`:
     crash-recoverable nodes with WAL + snapshot storage behind seeded
     fault-injected backends — flags ``torn-disk`` / ``lying-disk``
-    select the storage fault profile), or ``"gateway"`` (an open-loop
+    select the storage fault profile, flag ``paged`` makes recovery
+    return the paged read path instead of a materialized store), or
+    ``"gateway"`` (an open-loop
     client population firing through the :mod:`repro.gateway` admission
     tier into ``architecture``, with client-side retries on). Consensus
     scenarios demand liveness by default — every within-budget schedule
@@ -174,9 +176,10 @@ def _behaviour_flags(flags: tuple[str, ...]):
     """Toggle named behaviour flags for the duration of one run."""
     import repro.sim.node as node_module
 
-    # torn-disk / lying-disk are storage fault profiles consumed by the
-    # durable target directly; they toggle nothing global.
-    known = {"ghost-timers", "torn-disk", "lying-disk"}
+    # torn-disk / lying-disk are storage fault profiles and paged the
+    # recovery mode, all consumed by the durable target directly; they
+    # toggle nothing global.
+    known = {"ghost-timers", "torn-disk", "lying-disk", "paged"}
     unknown = set(flags) - known
     if unknown:
         raise ConfigError(f"unknown behaviour flags {sorted(unknown)}")
@@ -301,6 +304,11 @@ def _run_durable(scenario: ScenarioSpec, plan: PlanSpec) -> ScenarioResult:
         txs=max(4, scenario.txs),
         seed=scenario.seed,
         fault_profile=profile or None,
+        # flag "paged": recovery returns a PagedStateStore serving reads
+        # straight from blocked run files; the audit still compares its
+        # state root against the serial oracle, so paged-vs-materialized
+        # divergence surfaces as a violation.
+        paged="paged" in scenario.flags,
     )
     monitors = _make_monitors(scenario)
     for monitor in monitors:

@@ -39,7 +39,16 @@ from repro.storage.durable import (
     release_data_dir,
     resolve_data_dir,
 )
+from repro.storage.paged import (
+    DEFAULT_CACHE_BYTES,
+    BlockCache,
+    PagedRun,
+    PagedSnapshot,
+    PagedStateStore,
+)
 from repro.storage.snapshots import (
+    RUN_FORMAT,
+    RunWriter,
     SnapshotStore,
     SpillBuffer,
     merge_overlays,
@@ -55,11 +64,13 @@ from repro.storage.wal import (
 
 __all__ = [
     "BlockAnnounce",
+    "BlockCache",
     "BlockLog",
     "BlockRange",
     "BlockRequest",
     "CLEAN_PROFILE",
     "ChainTail",
+    "DEFAULT_CACHE_BYTES",
     "DurableCluster",
     "DurableLedger",
     "DurableNode",
@@ -68,8 +79,13 @@ __all__ = [
     "MemoryBackend",
     "OrdererNode",
     "OsBackend",
+    "PagedRun",
+    "PagedSnapshot",
+    "PagedStateStore",
+    "RUN_FORMAT",
     "RecoveryResult",
     "ReplayResult",
+    "RunWriter",
     "STORAGE_COUNTERS",
     "SnapshotStore",
     "SpillBuffer",

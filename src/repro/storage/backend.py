@@ -198,6 +198,19 @@ class MemoryBackend:
             raise StorageError(f"no such file: {name!r}")
         return bytes(f.content)
 
+    def read_range(self, name: str, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset`` — the paged read path's
+        primitive (a short read past end-of-file returns what exists;
+        callers detect truncation via per-block checksums)."""
+        f = self._files.get(name)
+        if f is None:
+            raise StorageError(f"no such file: {name!r}")
+        if offset < 0 or length < 0:
+            raise StorageError(
+                f"negative read_range ({offset}, {length}) on {name!r}"
+            )
+        return bytes(f.content[offset:offset + length])
+
     def exists(self, name: str) -> bool:
         return name in self._files
 
@@ -302,6 +315,21 @@ class OsBackend:
         self._flush_handle(name)
         try:
             return self._path(name).read_bytes()
+        except FileNotFoundError:
+            raise StorageError(f"no such file: {name!r}") from None
+
+    def read_range(self, name: str, offset: int, length: int) -> bytes:
+        """Seek-and-read one slice — what lets the paged store decode a
+        single 4KB block without pulling the whole run into memory."""
+        self._flush_handle(name)
+        if offset < 0 or length < 0:
+            raise StorageError(
+                f"negative read_range ({offset}, {length}) on {name!r}"
+            )
+        try:
+            with open(self._path(name), "rb") as handle:
+                handle.seek(offset)
+                return handle.read(length)
         except FileNotFoundError:
             raise StorageError(f"no such file: {name!r}") from None
 

@@ -10,6 +10,7 @@ what lets recovery re-verify the hash chain from raw bytes.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any
 
@@ -129,3 +130,97 @@ def row_to_entry(row: list[Any]) -> tuple[str, Any, Version]:
 def checksum(payload: bytes) -> str:
     """Content checksum for snapshot runs and the manifest."""
     return sha256_hex(payload)
+
+
+# -- blocked run format (v2) ---------------------------------------------------
+
+
+def encode_row(row: list[Any]) -> str:
+    """One run row as canonical JSON (the unit block payloads join)."""
+    return json.dumps(row, sort_keys=True, separators=(",", ":"))
+
+
+def encode_block_rows(rows: list[list[Any]]) -> bytes:
+    """One run block: the canonical-JSON list of its rows."""
+    return json.dumps(rows, sort_keys=True, separators=(",", ":")).encode()
+
+
+def decode_block_rows(payload: bytes, where: str) -> list[list[Any]]:
+    """Inverse of :func:`encode_block_rows`; StorageError on garbage.
+
+    Decode failures are :class:`ValueError` (bad JSON) or
+    :class:`UnicodeDecodeError` (bad bytes) — caught narrowly so control
+    exceptions like ``KeyboardInterrupt`` always propagate.
+    """
+    try:
+        rows = json.loads(payload.decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise StorageError(f"undecodable run block in {where}") from exc
+    if not isinstance(rows, list):
+        raise StorageError(f"malformed run block in {where}")
+    return rows
+
+
+class KeyFilter:
+    """Compact key-membership filter over one run's keys (bloom-style).
+
+    ``k`` bit positions per key are derived from one SHA-256 digest by
+    double hashing (``h1 + i*h2 mod m``) — fixed, deterministic seeds, so
+    the same key set always yields the same bits and same-seed runs stay
+    byte-identical across processes. A negative answer is exact ("the
+    run cannot hold this key"), which is what lets the paged read path
+    skip most runs without touching their blocks; positives are
+    approximate (~3% false at the default 8 bits/key, k=4).
+    """
+
+    BITS_PER_KEY = 8
+    HASHES = 4
+
+    __slots__ = ("nbits", "nhashes", "bits")
+
+    def __init__(self, nbits: int, nhashes: int, bits: bytearray) -> None:
+        if nbits < 8 or nhashes < 1:
+            raise StorageError(
+                f"bad key-filter shape (nbits={nbits}, nhashes={nhashes})"
+            )
+        self.nbits = nbits
+        self.nhashes = nhashes
+        self.bits = bits
+
+    @classmethod
+    def sized_for(cls, expected_keys: int) -> "KeyFilter":
+        """An empty filter sized for ``expected_keys`` (an upper bound is
+        fine — oversizing only lowers the false-positive rate)."""
+        nbits = max(64, expected_keys * cls.BITS_PER_KEY)
+        nbits = (nbits + 7) // 8 * 8
+        return cls(nbits, cls.HASHES, bytearray(nbits // 8))
+
+    def _positions(self, key: str) -> list[int]:
+        digest = hashlib.sha256(key.encode()).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:16], "big") | 1
+        return [(h1 + i * h2) % self.nbits for i in range(self.nhashes)]
+
+    def add(self, key: str) -> None:
+        for position in self._positions(key):
+            self.bits[position >> 3] |= 1 << (position & 7)
+
+    def might_contain(self, key: str) -> bool:
+        return all(
+            self.bits[position >> 3] & (1 << (position & 7))
+            for position in self._positions(key)
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"m": self.nbits, "k": self.nhashes, "bits": bytes(self.bits).hex()}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "KeyFilter":
+        try:
+            bits = bytearray.fromhex(data["bits"])
+            nbits, nhashes = int(data["m"]), int(data["k"])
+        except (KeyError, ValueError, TypeError) as exc:
+            raise StorageError("malformed key filter in run footer") from exc
+        if len(bits) * 8 != nbits:
+            raise StorageError("key-filter bit count does not match payload")
+        return cls(nbits, nhashes, bits)

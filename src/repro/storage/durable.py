@@ -54,6 +54,11 @@ from repro.storage.codec import (
     encode_block,
     state_root,
 )
+from repro.storage.paged import (
+    DEFAULT_CACHE_BYTES,
+    BlockCache,
+    PagedStateStore,
+)
 from repro.storage.snapshots import SnapshotStore, SpillBuffer
 from repro.storage.wal import (
     SEGMENT_PREFIX,
@@ -186,6 +191,10 @@ class RecoveryResult:
     torn: bool = False
     resync: bool = False
     snapshot_height: int = 0
+    #: Run files on disk that the manifest did not reference — leaked by
+    #: a crash between a run write (or compaction's manifest swap) and
+    #: the delete loop — garbage-collected by this recovery.
+    orphans_removed: int = 0
 
 
 class DurableLedger:
@@ -204,6 +213,8 @@ class DurableLedger:
         policy: FsyncPolicy | str = "per-block",
         snapshot_interval: int = 4,
         max_runs: int = 4,
+        paged: bool = False,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
     ) -> None:
         if snapshot_interval < 1:
             raise ConfigError(
@@ -216,6 +227,11 @@ class DurableLedger:
         )
         self.snapshots = SnapshotStore(backend, max_runs=max_runs)
         self.snapshot_interval = snapshot_interval
+        #: Recovery mode: paged serves reads straight from run files
+        #: (O(WAL tail) restart, state bigger than RAM); materialized
+        #: rebuilds the full StateStore (the equivalence oracle).
+        self.paged = paged
+        self.cache_bytes = cache_bytes
         self.log = BlockLog(backend, self.policy, self._live_segment_id())
 
     # -- segment bookkeeping -------------------------------------------------
@@ -332,6 +348,13 @@ class DurableLedger:
         so the next snapshot spill still covers them.
         """
         manifest = self.snapshots.read_manifest()
+        # Garbage-collect orphaned run files first: a crash between a run
+        # write (or compaction's manifest swap) and the delete loop leaks
+        # files nothing references — harmless to reads, fatal to disk
+        # budgets if left to accumulate forever.
+        orphans = self.snapshots.orphan_runs(manifest)
+        for name in orphans:
+            self.backend.delete(name)
         tail = ChainTail(genesis_block())
         store = StateStore()
         spill = SpillBuffer()
@@ -339,14 +362,30 @@ class DurableLedger:
         resync = False
         if manifest is not None:
             try:
-                loaded = self.snapshots.load_state(manifest)
+                if self.paged:
+                    # O(index) open: footers + filters only. Whole-state
+                    # root verification would defeat the O(WAL tail)
+                    # restart; trust moves to the per-block checksums
+                    # verified on every read (a bad footer still lands
+                    # here as StorageError => resync).
+                    loaded: StateStore = PagedStateStore(
+                        self.backend,
+                        manifest.get("runs", ()),
+                        BlockCache(self.cache_bytes),
+                    )
+                else:
+                    loaded = self.snapshots.load_state(manifest)
                 anchor = (
                     block_from_dict(manifest["anchor"])
                     if "anchor" in manifest
                     else genesis_block()
                 )
                 recorded_root = manifest.get("state_root")
-                if recorded_root is not None and state_root(loaded) != recorded_root:
+                if (
+                    not self.paged
+                    and recorded_root is not None
+                    and state_root(loaded) != recorded_root
+                ):
                     raise StorageError(
                         "snapshot state root does not match manifest"
                     )
@@ -383,9 +422,12 @@ class DurableLedger:
                             spill.apply_writes(
                                 rwset.writes, Version(block.height, index)
                             )
-                    if state_root(store) != recorded_root:
+                    if not self.paged and state_root(store) != recorded_root:
                         # Intact record but irreproducible state: the
                         # snapshot tier under it cannot be trusted either.
+                        # (Paged mode skips this O(state) audit — the
+                        # per-block checksums on the read path carry the
+                        # corruption-detection duty there.)
                         resync = True
                         break
                     replayed += 1
@@ -415,6 +457,7 @@ class DurableLedger:
             torn=torn,
             resync=resync,
             snapshot_height=snapshot_height,
+            orphans_removed=len(orphans),
         )
 
 
@@ -539,12 +582,15 @@ class DurableNode(Node):
         base_recovery_delay: float = 0.05,
         per_record_delay: float = 0.01,
         cluster: "DurableCluster | None" = None,
+        paged: bool = False,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
     ) -> None:
         super().__init__(node_id, sim, network)
         self.registry_factory = registry_factory
         self.registry = registry_factory()
         self.ledger = DurableLedger(
-            backend, policy=policy, snapshot_interval=snapshot_interval
+            backend, policy=policy, snapshot_interval=snapshot_interval,
+            paged=paged, cache_bytes=cache_bytes,
         )
         self.orderer_id = orderer_id
         self.probe_interval = probe_interval
@@ -575,6 +621,14 @@ class DurableNode(Node):
         self.ledger.commit_block(block, root)
         if self.ledger.maybe_snapshot(block, root, self._spill):
             self._spill = SpillBuffer()
+            if isinstance(self.store, PagedStateStore):
+                # The spill may have compacted the disk run set, deleting
+                # files the paged store still references. Rebase onto the
+                # new manifest: safe, because every committed write also
+                # lives in the store's overlays, which keep superseding
+                # whatever the (older or equal) runs say.
+                manifest = self.ledger.snapshots.read_manifest() or {}
+                self.store.rebase(manifest.get("runs", ()))
         if self.cluster is not None:
             self.cluster.record_commit(
                 self.node_id, block.height, block.block_hash
@@ -701,6 +755,8 @@ class DurableCluster:
         block_interval: float = 0.2,
         latency: LatencyModel | None = None,
         registry_factory: Callable[[], ContractRegistry] = standard_registry,
+        paged: bool = False,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
     ) -> None:
         if n < 1:
             raise ConfigError(f"a durable cluster needs n >= 1, got {n}")
@@ -724,7 +780,7 @@ class DurableCluster:
                 f"d{i}", self.sim, self.network, backend,
                 registry_factory=registry_factory,
                 policy=policy, snapshot_interval=snapshot_interval,
-                cluster=self,
+                cluster=self, paged=paged, cache_bytes=cache_bytes,
             )
             self.backends[node.node_id] = backend
             self.nodes[node.node_id] = node

@@ -9,17 +9,33 @@ style:
   seals it and merges its sealed overlays **oldest to newest** (the
   :meth:`~repro.ledger.store.StateStore.sealed_overlays` public
   contract; later overlays supersede earlier ones) into one sorted,
-  checksummed **run file**.
+  **blocked** run file.
+* A **run file** (format v2) is a sequence of ~4KB blocks of sorted,
+  canonical-JSON rows — each block individually checksummed — followed
+  by a footer holding the block index (first key / offset / length /
+  checksum per block) and a compact key-membership filter
+  (:class:`~repro.storage.codec.KeyFilter`), and a fixed trailer
+  locating the footer. The manifest entry records the footer checksum
+  and a ``format`` version; the pre-blocking v1 format (one JSON blob,
+  whole-file checksum) is still readable, so old directories recover
+  unchanged. Blocked layout is what the paged read path
+  (:mod:`repro.storage.paged`) needs: a point lookup consults the
+  filter, binary-searches the index, and decodes exactly one block.
 * The **manifest** is the tiny root of trust: the ordered list of live
   runs (with checksums), the snapshot height, the anchor block the WAL
   tail continues from, and the live WAL segments. It is replaced
   atomically (write-temp + fsync + rename), so a crash at *any* point
   leaves either the old or the new snapshot set fully readable — never
   a mixture. Run files and WAL segments are only deleted **after** the
-  manifest that stops referencing them is durable.
+  manifest that stops referencing them is durable. Run files are
+  written block-by-block (append + final fsync before the manifest
+  references them); a crash mid-write leaves an unreferenced partial
+  file that recovery garbage-collects.
 * **Compaction** merges all live runs into one (newest entry per key
   wins, tombstones drop out once they reach the bottom) and swaps the
-  manifest; a crash mid-compaction is invisible to recovery.
+  manifest; a crash mid-compaction is invisible to recovery. The merge
+  is a k-way heap over each run's sorted row stream, so compaction
+  memory is O(block), not O(state).
 
 Reading state back is ``apply runs in manifest order``: rows carry the
 exact MVCC :class:`~repro.ledger.store.Version` of each write, so a
@@ -28,8 +44,10 @@ recovered store is version-identical to the store that spilled it.
 
 from __future__ import annotations
 
+import heapq
 import json
-from typing import Any
+import struct
+from typing import Any, Iterator
 
 from repro.common.errors import StorageError
 from repro.ledger.store import (
@@ -38,13 +56,33 @@ from repro.ledger.store import (
     Version,
     is_tombstone,
 )
-from repro.storage.codec import checksum, entry_to_row, row_to_entry
+from repro.storage.codec import (
+    KeyFilter,
+    checksum,
+    decode_block_rows,
+    encode_row,
+    entry_to_row,
+    row_to_entry,
+)
 
 MANIFEST_NAME = "MANIFEST.json"
 MANIFEST_FORMAT = "repro-manifest/v1"
 
 RUN_PREFIX = "snap-"
 RUN_SUFFIX = ".json"
+
+#: Current run-file format. v1 = one JSON blob, whole-file checksum;
+#: v2 = sorted checksummed blocks + footer index + key filter.
+RUN_FORMAT = 2
+
+#: Target encoded size of one run block. Small enough that a point
+#: lookup decodes ~a hundred rows; large enough that the per-block
+#: index stays ~1% of the data.
+BLOCK_TARGET_BYTES = 4096
+
+#: Run-file trailer: footer length + magic, fixed size at end-of-file.
+_TRAILER = struct.Struct(">Q4s")
+_RUN_MAGIC = b"RUN2"
 
 #: Compact the run set once it grows past this many files.
 DEFAULT_MAX_RUNS = 4
@@ -56,6 +94,11 @@ STORAGE_SNAPSHOT_COMPACTIONS = {"count": 0}
 
 def run_name(run_id: int) -> str:
     return f"{RUN_PREFIX}{run_id:06d}{RUN_SUFFIX}"
+
+
+def is_run_name(name: str) -> bool:
+    """True for any file the snapshot tier may have written as a run."""
+    return name.startswith(RUN_PREFIX) and name.endswith(RUN_SUFFIX)
 
 
 class SpillBuffer(StateStore):
@@ -93,6 +136,165 @@ def merge_overlays(overlays) -> dict[str, Any]:
     return merged
 
 
+# -- the blocked run format (v2) ----------------------------------------------
+
+
+class RunWriter:
+    """Stream sorted rows into one blocked run file, O(block) memory.
+
+    Rows arrive in strictly increasing key order (enforced — an
+    out-of-order row means a broken merge upstream). Each ~4KB of
+    encoded rows is appended as one checksummed block; the footer
+    (block index + key filter) and trailer land last, and a final fsync
+    makes the whole file durable *before* :meth:`finish` returns its
+    manifest entry — preserving the run-durable-before-referenced
+    ordering the manifest swap relies on. A crash mid-write leaves an
+    unreferenced partial file for recovery's garbage collector.
+    """
+
+    def __init__(
+        self,
+        backend,
+        name: str,
+        expected_keys: int,
+        block_bytes: int = BLOCK_TARGET_BYTES,
+    ) -> None:
+        if backend.exists(name):
+            # A leftover orphan from a writer that crashed before its
+            # manifest swap (the id was never consumed); appending to
+            # its garbage would corrupt the new run.
+            backend.delete(name)
+        self.backend = backend
+        self.name = name
+        self.block_bytes = block_bytes
+        self.filter = KeyFilter.sized_for(expected_keys)
+        self.blocks: list[dict[str, Any]] = []
+        self.rows_written = 0
+        self._offset = 0
+        self._encoded: list[str] = []
+        self._encoded_bytes = 0
+        self._first_key: str | None = None
+        self._last_key: str | None = None
+
+    def add(self, row: list[Any]) -> None:
+        key = row[0]
+        if self._last_key is not None and key <= self._last_key:
+            raise StorageError(
+                f"run rows out of order ({key!r} after {self._last_key!r})"
+            )
+        self._last_key = key
+        if self._first_key is None:
+            self._first_key = key
+        self.filter.add(key)
+        encoded = encode_row(row)
+        self._encoded.append(encoded)
+        self._encoded_bytes += len(encoded) + 1
+        self.rows_written += 1
+        if self._encoded_bytes >= self.block_bytes:
+            self._flush_block()
+
+    def _flush_block(self) -> None:
+        if not self._encoded:
+            return
+        # Joining the pre-encoded rows reproduces json.dumps(rows) with
+        # canonical separators byte-for-byte.
+        payload = ("[" + ",".join(self._encoded) + "]").encode()
+        self.backend.append(self.name, payload)
+        self.blocks.append({
+            "first": self._first_key,
+            "off": self._offset,
+            "len": len(payload),
+            "sum": checksum(payload),
+            "rows": len(self._encoded),
+        })
+        self._offset += len(payload)
+        self._encoded = []
+        self._encoded_bytes = 0
+        self._first_key = None
+
+    def finish(self) -> dict[str, Any]:
+        """Seal the run; returns its manifest entry."""
+        self._flush_block()
+        footer = {
+            "format": RUN_FORMAT,
+            "blocks": self.blocks,
+            "filter": self.filter.to_dict(),
+            "rows": self.rows_written,
+        }
+        footer_bytes = json.dumps(
+            footer, sort_keys=True, separators=(",", ":")
+        ).encode()
+        self.backend.append(
+            self.name,
+            footer_bytes + _TRAILER.pack(len(footer_bytes), _RUN_MAGIC),
+        )
+        self.backend.fsync(self.name)
+        return {
+            "name": self.name,
+            "checksum": checksum(footer_bytes),
+            "rows": self.rows_written,
+            "format": RUN_FORMAT,
+            "bytes": self._offset + len(footer_bytes) + _TRAILER.size,
+        }
+
+
+def read_run_footer(backend, entry: dict[str, Any]) -> dict[str, Any]:
+    """Read + verify one v2 run's footer (index + filter) — O(footer),
+    never touching the row blocks. StorageError on any corruption."""
+    name = entry["name"]
+    if not backend.exists(name):
+        raise StorageError(f"missing snapshot run {name!r}")
+    size = backend.size(name)
+    if size < _TRAILER.size:
+        raise StorageError(f"truncated snapshot run {name!r}")
+    trailer = backend.read_range(name, size - _TRAILER.size, _TRAILER.size)
+    try:
+        footer_len, magic = _TRAILER.unpack(trailer)
+    except struct.error as exc:
+        raise StorageError(f"unreadable trailer in run {name!r}") from exc
+    if magic != _RUN_MAGIC or footer_len > size - _TRAILER.size:
+        raise StorageError(f"corrupt trailer in snapshot run {name!r}")
+    footer_bytes = backend.read_range(
+        name, size - _TRAILER.size - footer_len, footer_len
+    )
+    if checksum(footer_bytes) != entry["checksum"]:
+        raise StorageError(f"footer checksum mismatch in run {name!r}")
+    try:
+        footer = json.loads(footer_bytes.decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise StorageError(f"undecodable footer in run {name!r}") from exc
+    if not isinstance(footer, dict) or footer.get("format") != RUN_FORMAT:
+        raise StorageError(f"unknown run format in {name!r}")
+    return footer
+
+
+def read_run_block(
+    backend, name: str, spec: dict[str, Any]
+) -> list[list[Any]]:
+    """Read + verify exactly one block of a v2 run (one ``read_range``)."""
+    payload = backend.read_range(name, spec["off"], spec["len"])
+    if len(payload) != spec["len"] or checksum(payload) != spec["sum"]:
+        raise StorageError(f"block checksum mismatch in run {name!r}")
+    return decode_block_rows(payload, name)
+
+
+def read_run_v1(backend, entry: dict[str, Any]) -> list[list[Any]]:
+    """The pre-blocking run format: one JSON blob, whole-file checksum."""
+    name = entry["name"]
+    if not backend.exists(name):
+        raise StorageError(f"missing snapshot run {name!r}")
+    payload = backend.read(name)
+    if checksum(payload) != entry["checksum"]:
+        raise StorageError(f"checksum mismatch in snapshot run {name!r}")
+    try:
+        rows = json.loads(payload.decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        # Narrow on decode failures only: a blanket except here used
+        # to swallow KeyboardInterrupt/SystemExit mid-recovery.
+        raise StorageError(f"undecodable snapshot run {name!r}") from exc
+    return rows
+
+
 class SnapshotStore:
     """Manages run files + the manifest over one storage backend."""
 
@@ -115,7 +317,9 @@ class SnapshotStore:
             return None
         try:
             data = json.loads(self.backend.read(MANIFEST_NAME).decode())
-        except Exception:  # noqa: BLE001 - corrupt manifest = no manifest
+        except (ValueError, UnicodeDecodeError):
+            # Corrupt manifest = no manifest; narrow so control-flow
+            # exceptions (KeyboardInterrupt, SystemExit) propagate.
             return None
         if not isinstance(data, dict) or data.get("format") != MANIFEST_FORMAT:
             return None
@@ -133,27 +337,51 @@ class SnapshotStore:
     # -- runs ----------------------------------------------------------------
 
     def write_run(self, run_id: int, rows: list[list[Any]]) -> dict[str, Any]:
-        """Write one run file; returns its manifest entry (name+checksum)."""
-        payload = json.dumps(
-            rows, sort_keys=True, separators=(",", ":")
-        ).encode()
-        name = run_name(run_id)
-        self.backend.replace(name, payload)
-        return {"name": name, "checksum": checksum(payload), "rows": len(rows)}
+        """Write one blocked run file; returns its manifest entry."""
+        writer = RunWriter(self.backend, run_name(run_id), len(rows))
+        for row in rows:
+            writer.add(row)
+        return writer.finish()
 
     def read_run(self, entry: dict[str, Any]) -> list[list[Any]]:
-        """Read + verify one run; StorageError on any corruption."""
+        """Read + verify one whole run; StorageError on any corruption.
+
+        Dispatches on the entry's ``format``: v2 verifies the footer
+        then every block; v1 (entries without a format field, written
+        before the blocked layout) verifies the whole-file checksum.
+        """
+        return list(self.iter_run_rows(entry))
+
+    def iter_run_rows(self, entry: dict[str, Any]) -> Iterator[list[Any]]:
+        """Stream one run's rows in key order, one block in memory at a
+        time (v1 runs decode whole — the legacy blob has no blocks)."""
+        version = int(entry.get("format", 1))
         name = entry["name"]
-        if not self.backend.exists(name):
-            raise StorageError(f"missing snapshot run {name!r}")
-        payload = self.backend.read(name)
-        if checksum(payload) != entry["checksum"]:
-            raise StorageError(f"checksum mismatch in snapshot run {name!r}")
-        try:
-            rows = json.loads(payload.decode())
-        except Exception as exc:  # noqa: BLE001
-            raise StorageError(f"undecodable snapshot run {name!r}") from exc
-        return rows
+        if version == 1:
+            yield from read_run_v1(self.backend, entry)
+        elif version == RUN_FORMAT:
+            footer = read_run_footer(self.backend, entry)
+            for spec in footer["blocks"]:
+                yield from read_run_block(self.backend, name, spec)
+        else:
+            raise StorageError(
+                f"unknown run format {version} in snapshot run {name!r}"
+            )
+
+    def orphan_runs(self, manifest: dict[str, Any] | None) -> list[str]:
+        """Run files on disk that ``manifest`` does not reference.
+
+        A crash between a run write and the manifest swap that would
+        have referenced it — or between compaction's swap and its
+        delete loop — leaks files; recovery deletes what this returns.
+        """
+        referenced = {
+            entry["name"] for entry in (manifest or {}).get("runs", ())
+        }
+        return [
+            name for name in self.backend.list()
+            if is_run_name(name) and name not in referenced
+        ]
 
     # -- spill ---------------------------------------------------------------
 
@@ -209,31 +437,50 @@ class SnapshotStore:
     def compact(self, manifest: dict[str, Any]) -> dict[str, Any]:
         """Merge every live run into one; atomic manifest swap.
 
+        The merge is **streaming**: a k-way heap over each run's sorted
+        row iterator, newest run winning ties, tombstones cancelling at
+        the bottom tier — so peak memory is O(block) per input run plus
+        the output writer's current block, never the merged state.
+
         Ordering is the whole point:
 
-        1. write the merged run (durable),
+        1. write the merged run (block appends + fsync — durable),
         2. swap the manifest (atomic replace),
         3. only then delete the superseded run files.
 
         A crash before (2) leaves the old manifest pointing at the old,
-        untouched run set; a crash between (2) and (3) leaks files but
-        loses nothing. The crash-during-compaction capsule asserts
-        exactly this.
+        untouched run set (the partial merged file is unreferenced and
+        garbage-collected on recovery); a crash between (2) and (3)
+        leaks files but loses nothing. The crash-during-compaction
+        capsule asserts exactly this.
         """
         entries = list(manifest.get("runs", ()))
-        merged: dict[str, tuple[Any, Version]] = {}
-        for entry in entries:
-            for row in self.read_run(entry):
-                key, value, version = row_to_entry(row)
-                merged[key] = (value, version)
-        rows = []
-        for key in sorted(merged):
-            value, version = merged[key]
-            if value is None:
-                continue  # bottom tier: tombstones cancel out
-            rows.append(entry_to_row(key, value, version))
         run_id = int(manifest.get("next_run_id", 1))
-        new_entry = self.write_run(run_id, rows)
+        writer = RunWriter(
+            self.backend,
+            run_name(run_id),
+            expected_keys=sum(int(e.get("rows", 0)) for e in entries),
+        )
+        # Heap keys are (row key, -run position): for a key present in
+        # several runs the newest (highest position) pops first, and the
+        # older duplicates are skipped as they surface.
+        def stream(entry: dict[str, Any], position: int):
+            for row in self.iter_run_rows(entry):
+                yield (row[0], -position, row)
+
+        streams = [
+            stream(entry, position)
+            for position, entry in enumerate(entries)
+        ]
+        last_key = None
+        for key, _position, row in heapq.merge(*streams):
+            if key == last_key:
+                continue  # superseded by a newer run
+            last_key = key
+            if row[1] is None:
+                continue  # bottom tier: tombstones cancel out
+            writer.add(row)
+        new_entry = writer.finish()
         new_manifest = dict(manifest)
         new_manifest["runs"] = [new_entry]
         new_manifest["next_run_id"] = run_id + 1
@@ -246,17 +493,20 @@ class SnapshotStore:
     # -- load ----------------------------------------------------------------
 
     def load_state(self, manifest: dict[str, Any]) -> StateStore:
-        """Rebuild a StateStore from the manifest's run set.
+        """Rebuild a fully-materialized StateStore from the run set.
 
         Runs apply in manifest order (oldest first), so later runs'
         entries — including deletes — supersede earlier ones, mirroring
         the overlay order they were spilled from. StorageError on any
         missing or corrupt run (callers treat that as "snapshot tier
-        unusable, full resync").
+        unusable, full resync"). O(total state) in time and memory —
+        the equivalence oracle for the paged read path
+        (:class:`~repro.storage.paged.PagedStateStore`), which serves
+        the same contract directly from the run files.
         """
         store = StateStore()
         for entry in manifest.get("runs", ()):
-            for row in self.read_run(entry):
+            for row in self.iter_run_rows(entry):
                 key, value, version = row_to_entry(row)
                 if value is None:
                     store.delete(key)
