@@ -99,10 +99,15 @@ def hotpath_counters() -> dict[str, int]:
     from repro.crypto.merkle import MERKLE_COUNTERS
     from repro.execution.parallel_backend import EXEC_COUNTERS
     from repro.ledger.store import STORE_COUNTERS
+    from repro.storage.snapshots import STORAGE_TIER_COMPACTIONS
 
     counters = {f"store.{k}": v for k, v in STORE_COUNTERS.items()}
     counters.update({f"merkle.{k}": v for k, v in MERKLE_COUNTERS.items()})
     counters.update({f"exec.{k}": v for k, v in EXEC_COUNTERS.items()})
+    counters.update({
+        f"store.tier_compactions.{tier}": count
+        for tier, count in sorted(STORAGE_TIER_COMPACTIONS.items())
+    })
     return counters
 
 
@@ -112,7 +117,9 @@ def reset_hotpath_counters() -> None:
     from repro.crypto.merkle import reset_merkle_caches
     from repro.execution.parallel_backend import reset_exec_counters
     from repro.ledger.store import reset_store_counters
+    from repro.storage.snapshots import STORAGE_TIER_COMPACTIONS
 
     reset_store_counters()
     reset_merkle_caches()
     reset_exec_counters()
+    STORAGE_TIER_COMPACTIONS.clear()

@@ -341,6 +341,10 @@ def _scenario_from_args(args) -> ScenarioSpec:
         flags.append("lying-disk")
     if getattr(args, "paged", False):
         flags.append("paged")
+    if getattr(args, "tiered", False):
+        flags.append("tiered")
+    if getattr(args, "spill", False):
+        flags.append("spill")
     flags = tuple(flags)
     return ScenarioSpec(
         target=args.target,
@@ -394,22 +398,31 @@ def cmd_explore(args) -> int:
     return 1 if report.violations else 0
 
 
-def _disk_roundtrip(args) -> dict:
-    """Commit / crash / recover against real files under ``--data-dir``.
+def _disk_drill(args) -> dict:
+    """Multi-node crash/restart drill against real files under
+    ``--data-dir``.
 
-    Builds the canonical chain, commits every block through a
-    :class:`DurableLedger` on an :class:`OsBackend` (spilling snapshots
-    on the configured interval), drops the open handles to simulate a
-    process crash, then recovers with a *fresh* ledger and compares the
-    replayed tip and Merkle state root against a no-crash serial
-    execution of the same chain.
+    One seeded schedule drives ``--n`` independent durable nodes, each
+    against its own subdirectory: every node commits the canonical
+    chain through a :class:`DurableLedger` on an :class:`OsBackend`
+    (spilling snapshots on the configured interval, plus any overlay
+    byte budget), crashes at seeded block heights (dropping the open
+    handles, exactly the process-death model), recovers with a *fresh*
+    ledger — replaying its WAL tail and garbage-collecting orphaned run
+    files — and resumes from the recovered height. The report carries
+    per-node replay/orphan-GC telemetry; the drill passes iff every
+    node ends with the canonical tip hash and the no-crash serial
+    state root.
     """
+    import random as random_module
+
     from repro.execution.contracts import standard_registry
     from repro.execution.serial import execute_block_serially
-    from repro.ledger.store import StateStore, Version
+    from repro.ledger.store import STORE_COUNTERS, StateStore, Version
     from repro.storage import (
         DurableLedger,
         OsBackend,
+        PagedStateStore,
         SpillBuffer,
         build_canonical_chain,
         release_data_dir,
@@ -417,60 +430,117 @@ def _disk_roundtrip(args) -> dict:
         state_root,
     )
 
-    data_dir = resolve_data_dir(args.data_dir)
-    try:
-        backend = OsBackend(data_dir)
-        for name in backend.list():  # a re-run starts from scratch
-            backend.delete(name)
-        chain = build_canonical_chain(args.txs, args.seed)
-        ledger = DurableLedger(
+    def make_ledger(backend) -> DurableLedger:
+        return DurableLedger(
             backend,
-            policy=args.policy,
-            snapshot_interval=args.snapshot_interval,
-        )
-        store, spill = StateStore(), SpillBuffer()
-        registry = standard_registry()
-        root = ""
-        for block in chain:
-            if block.height == 0:
-                continue
-            outcome = execute_block_serially(block, store, registry)
-            for index, rwset in enumerate(outcome.rwsets):
-                if rwset.ok:
-                    spill.apply_writes(
-                        rwset.writes, Version(block.height, index)
-                    )
-            root = state_root(store)
-            ledger.commit_block(block, root)
-            if ledger.maybe_snapshot(block, root, spill):
-                spill = SpillBuffer()
-        ledger.flush()
-        backend.simulate_crash()
-
-        recovered = DurableLedger(
-            OsBackend(data_dir),
             policy=args.policy,
             snapshot_interval=args.snapshot_interval,
             paged=getattr(args, "paged", False),
             cache_bytes=getattr(args, "cache_bytes", 4 * 1024 * 1024),
+            compaction="tiered" if getattr(args, "tiered", False) else "full",
+            overlay_budget_bytes=getattr(args, "overlay_budget", 0),
         )
-        result = recovered.recover(standard_registry)
+
+    base_dir = resolve_data_dir(args.data_dir)
+    chain = build_canonical_chain(args.txs, args.seed)
+    # One seeded schedule: every node's crash heights come from this
+    # RNG, so the whole drill is a pure function of (seed, txs, n).
+    rng = random_module.Random(args.seed + 0xD121)
+    crashes_per_node = max(0, min(args.drill_crashes, chain.height - 1))
+    nodes: list[dict] = []
+    held_dirs = [base_dir]
+    try:
+        for i in range(max(1, args.n)):
+            node_dir = resolve_data_dir(base_dir / f"node{i}")
+            held_dirs.append(node_dir)
+            backend = OsBackend(node_dir)
+            for name in backend.list():  # a re-run starts from scratch
+                backend.delete(name)
+            crash_heights = sorted(
+                rng.sample(range(1, chain.height), crashes_per_node)
+            ) if crashes_per_node else []
+            ledger = make_ledger(backend)
+            store: StateStore = StateStore()
+            spill = SpillBuffer()
+            registry = standard_registry()
+            budget_spills_before = STORE_COUNTERS["budget_spills"]
+            pending = list(crash_heights)
+            telemetry = {
+                "recoveries": 0, "replayed": 0, "orphans_removed": 0,
+                "torn": False, "resync": False,
+            }
+            height, root = 0, ""
+            while height < chain.height:
+                block = chain.block(height + 1)
+                outcome = execute_block_serially(block, store, registry)
+                for index, rwset in enumerate(outcome.rwsets):
+                    if rwset.ok:
+                        spill.apply_writes(
+                            rwset.writes, Version(block.height, index)
+                        )
+                root = state_root(store)
+                ledger.commit_block(block, root)
+                if ledger.maybe_snapshot(block, root, spill):
+                    spill = SpillBuffer()
+                    if isinstance(store, PagedStateStore):
+                        manifest = ledger.snapshots.read_manifest() or {}
+                        store.collapse(manifest.get("runs", ()))
+                height = block.height
+                if pending and height == pending[0]:
+                    pending.pop(0)
+                    backend.simulate_crash()
+                    ledger = make_ledger(OsBackend(node_dir))
+                    result = ledger.recover(standard_registry)
+                    store, spill = result.store, result.spill
+                    registry = standard_registry()
+                    height = result.tail.height
+                    telemetry["recoveries"] += 1
+                    telemetry["replayed"] += result.replayed
+                    telemetry["orphans_removed"] += result.orphans_removed
+                    telemetry["torn"] = telemetry["torn"] or result.torn
+                    telemetry["resync"] = (
+                        telemetry["resync"] or result.resync
+                    )
+            ledger.flush()
+            # Final restart: the post-drill state must be recoverable
+            # too, and the recovered store is what gets audited.
+            backend.simulate_crash()
+            final = make_ledger(OsBackend(node_dir)).recover(
+                standard_registry
+            )
+            nodes.append({
+                "node": f"node{i}",
+                "data_dir": str(node_dir),
+                "crash_heights": crash_heights,
+                **telemetry,
+                "final_replayed": final.replayed,
+                "final_orphans_removed": final.orphans_removed,
+                "budget_spills": (
+                    STORE_COUNTERS["budget_spills"] - budget_spills_before
+                ),
+                "recovered_height": final.tail.height,
+                "tip_matches": final.tail.tip_hash() == chain.tip_hash(),
+                # With --paged this walks every key through the paged
+                # read path — the strongest oracle equivalence check.
+                "state_root_matches": state_root(final.store) == root,
+            })
         return {
-            "data_dir": str(data_dir),
+            "data_dir": str(base_dir),
             "blocks": chain.height,
-            "recovered_height": result.tail.height,
-            "replayed": result.replayed,
-            "torn": result.torn,
-            "resync": result.resync,
-            "paged": recovered.paged,
-            "orphans_removed": result.orphans_removed,
-            "tip_matches": result.tail.tip_hash() == chain.tip_hash(),
-            # With --paged this walks every key through the paged read
-            # path — the strongest oracle equivalence check there is.
-            "state_root_matches": state_root(result.store) == root,
+            "paged": getattr(args, "paged", False),
+            "compaction": (
+                "tiered" if getattr(args, "tiered", False) else "full"
+            ),
+            "overlay_budget_bytes": getattr(args, "overlay_budget", 0),
+            "nodes": nodes,
+            "all_match": all(
+                node["tip_matches"] and node["state_root_matches"]
+                for node in nodes
+            ),
         }
     finally:
-        release_data_dir(data_dir)
+        for directory in held_dirs:
+            release_data_dir(directory)
 
 
 def cmd_recover(args) -> int:
@@ -479,9 +549,11 @@ def cmd_recover(args) -> int:
     Runs a seeded chaos schedule against a durable cluster — crash one
     node mid-stream, recover it, let it replay its WAL and catch back up
     — then audits the recovered ledger and Merkle state root against
-    the no-crash serial oracle. With ``--data-dir`` the same
-    commit/crash/recover cycle additionally round-trips through real
-    files. Exit 0 iff every audit is clean.
+    the no-crash serial oracle. With ``--data-dir`` it additionally
+    runs a multi-node restart drill against real files: ``--n`` durable
+    nodes, each crashed at seeded heights (``--drill-crashes`` per
+    node) and restarted, with per-node WAL-replay and orphan-GC
+    telemetry in the report. Exit 0 iff every audit is clean.
     """
     from repro.simtest.plan import FaultSpec, PlanSpec, _round
     from repro.simtest.scenarios import run_scenario
@@ -493,6 +565,10 @@ def cmd_recover(args) -> int:
         flags.append("lying-disk")
     if args.paged:
         flags.append("paged")
+    if args.tiered:
+        flags.append("tiered")
+    if args.spill:
+        flags.append("spill")
     scenario = ScenarioSpec(
         target="durable", n=args.n, txs=args.txs, seed=args.seed,
         flags=tuple(flags),
@@ -513,9 +589,9 @@ def cmd_recover(args) -> int:
     }
     ok = result.decided and not result.violations
     if args.data_dir:
-        disk = _disk_roundtrip(args)
+        disk = _disk_drill(args)
         summary["disk"] = disk
-        ok = ok and disk["tip_matches"] and disk["state_root_matches"]
+        ok = ok and disk["all_match"]
     print(json.dumps(summary, indent=2, sort_keys=True))
     return 0 if ok else 1
 
@@ -679,6 +755,16 @@ def build_parser() -> argparse.ArgumentParser:
             "blocked run files (paged store) instead of materializing",
         )
         p.add_argument(
+            "--tiered", action="store_true",
+            help="durable target: size-tiered band compaction instead "
+            "of full merges",
+        )
+        p.add_argument(
+            "--spill", action="store_true",
+            help="durable target: tiny overlay byte budget forcing "
+            "mid-interval snapshot spills",
+        )
+        p.add_argument(
             "--save-dir", default="",
             help="write a repro capsule per failure into this directory",
         )
@@ -727,19 +813,37 @@ def build_parser() -> argparse.ArgumentParser:
         "directly (larger-than-RAM state path)",
     )
     recover.add_argument(
+        "--tiered", action="store_true",
+        help="size-tiered band compaction instead of full merges",
+    )
+    recover.add_argument(
+        "--spill", action="store_true",
+        help="tiny overlay byte budget forcing mid-interval spills "
+        "(simulated cluster only; --data-dir uses --overlay-budget)",
+    )
+    recover.add_argument(
         "--cache-bytes", type=int, default=4 * 1024 * 1024,
         help="block-cache byte budget for --paged (default 4MB)",
     )
     recover.add_argument(
         "--data-dir", default="",
-        help="also round-trip commit/crash/recover through real files "
-        "in this directory",
+        help="also run the multi-node restart drill through real files "
+        "in this directory (one subdirectory per node)",
     )
     recover.add_argument(
         "--policy", default="group:2",
         help="fsync policy for --data-dir: per-block, group:N, or async",
     )
     recover.add_argument("--snapshot-interval", type=int, default=3)
+    recover.add_argument(
+        "--overlay-budget", type=int, default=0,
+        help="--data-dir drill: overlay byte budget; past it the ledger "
+        "spills a snapshot early (0 = unbounded)",
+    )
+    recover.add_argument(
+        "--drill-crashes", type=int, default=2,
+        help="--data-dir drill: seeded crash/restart cycles per node",
+    )
     recover.set_defaults(fn=cmd_recover)
 
     replay = sub.add_parser(

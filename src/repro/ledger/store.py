@@ -59,6 +59,21 @@ STORE_COUNTERS = {
     "block_cache_hits": 0,
     "block_cache_misses": 0,
     "block_cache_evictions": 0,
+    # Memory-bounded storage (PR 10). Gauges, not monotonic counts:
+    # overlay_resident_bytes is the last charged buffer's estimate,
+    # overlay_resident_peak the maximum any buffer reached since reset.
+    "overlay_resident_bytes": 0,
+    "overlay_resident_peak": 0,
+    # Spills forced by the byte budget *between* interval snapshots.
+    "budget_spills": 0,
+    # Write-amplification ledger: bytes appended to run files by overlay
+    # spills vs. by compaction rewrites vs. bytes appended to the WAL.
+    "spill_bytes_written": 0,
+    "compaction_bytes_written": 0,
+    "wal_bytes_written": 0,
+    # Range scans over the paged tier: blocks decoded by scan() — the
+    # E24 gate asserts this tracks blocks-in-range, not total blocks.
+    "range_block_decodes": 0,
 }
 
 
@@ -76,6 +91,81 @@ def is_tombstone(entry: Any) -> bool:
 def reset_store_counters() -> None:
     for key in STORE_COUNTERS:
         STORE_COUNTERS[key] = 0
+
+
+def value_weight(value: Any) -> int:
+    """Deterministic byte estimate of one state value.
+
+    The budget accounting must be a pure function of the committed data
+    — two same-seed runs (or a run and its replay) have to spill at the
+    same blocks — so this deliberately is *not* ``sys.getsizeof``
+    (interpreter- and version-dependent). The estimate tracks encoded
+    size: strings/bytes by length, numbers as 8 bytes, containers as a
+    small header plus their elements.
+    """
+    if value is None:
+        return 8
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, (int, float, bool)):
+        return 8
+    if isinstance(value, (list, tuple)):
+        return 16 + sum(value_weight(item) for item in value)
+    if isinstance(value, dict):
+        return 16 + sum(
+            value_weight(k) + value_weight(v) for k, v in value.items()
+        )
+    return len(repr(value))
+
+
+#: Fixed per-entry overhead charged by :class:`MemoryBudget`: the
+#: VersionedValue wrapper, the Version pair, and the dict slot.
+ENTRY_OVERHEAD_BYTES = 32
+
+
+class MemoryBudget:
+    """Deterministic resident-byte accounting for an overlay buffer.
+
+    Tracks one weight per live key (an overwrite replaces the old
+    charge, O(1) via the per-key weight map), so ``resident_bytes``
+    estimates what the buffer actually holds, not what passed through
+    it. The durability tier consults :meth:`over` after every commit to
+    trigger overlay spills *between* interval snapshots — the lever
+    that bounds a long-running node's memory (ROADMAP item 2).
+
+    ``budget_bytes == 0`` disables the threshold (accounting still
+    runs, so gauges stay meaningful).
+    """
+
+    __slots__ = ("budget_bytes", "_weights", "_bytes")
+
+    def __init__(self, budget_bytes: int = 0) -> None:
+        if budget_bytes < 0:
+            raise ValueError(
+                f"budget_bytes must be >= 0, got {budget_bytes}"
+            )
+        self.budget_bytes = budget_bytes
+        self._weights: dict[str, int] = {}
+        self._bytes = 0
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._bytes
+
+    def charge(self, key: str, value: Any) -> None:
+        """Account one written entry (``value is None`` = tombstone)."""
+        weight = ENTRY_OVERHEAD_BYTES + len(key) + value_weight(value)
+        self._bytes += weight - self._weights.get(key, 0)
+        self._weights[key] = weight
+        STORE_COUNTERS["overlay_resident_bytes"] = self._bytes
+        if self._bytes > STORE_COUNTERS["overlay_resident_peak"]:
+            STORE_COUNTERS["overlay_resident_peak"] = self._bytes
+
+    def over(self) -> bool:
+        """True when a non-zero budget has been reached or passed."""
+        return 0 < self.budget_bytes <= self._bytes
 
 
 @dataclass(frozen=True, order=True)
@@ -214,6 +304,24 @@ class StateStore:
     def items(self) -> Iterator[tuple[str, VersionedValue]]:
         """Live (key, VersionedValue) pairs, layer-merged."""
         for key in self.keys():
+            yield key, self.get_versioned(key)
+
+    def scan(
+        self, start: str | None = None, end: str | None = None
+    ) -> Iterator[tuple[str, VersionedValue]]:
+        """Live entries with ``start <= key <= end``, in key order.
+
+        ``None`` bounds are open. This materialized implementation is
+        the equivalence oracle for the paged store's indexed scan
+        (``repro.storage.paged.PagedStateStore.scan``), which must
+        return the identical sequence while decoding only the run
+        blocks that intersect the range.
+        """
+        for key in sorted(self.keys()):
+            if start is not None and key < start:
+                continue
+            if end is not None and key > end:
+                break
             yield key, self.get_versioned(key)
 
     # -- writes --------------------------------------------------------------

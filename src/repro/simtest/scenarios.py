@@ -34,6 +34,12 @@ from repro.simtest.plan import PlanSpec
 #: plus the XOV refinements that keep the serial-equivalence contract).
 FUZZABLE_ARCHITECTURES = ("ox", "oxii", "xov", "fastfabric", "fabricpp")
 
+#: Overlay byte budget installed by the durable ``spill`` flag. Tiny on
+#: purpose: a fuzz workload writes a few hundred bytes per block, so
+#: this forces budget-triggered spills within a couple of blocks and
+#: crash schedules land mid-spill.
+SPILL_FLAG_BUDGET_BYTES = 512
+
 
 @dataclass(frozen=True)
 class ScenarioSpec:
@@ -46,7 +52,10 @@ class ScenarioSpec:
     crash-recoverable nodes with WAL + snapshot storage behind seeded
     fault-injected backends — flags ``torn-disk`` / ``lying-disk``
     select the storage fault profile, flag ``paged`` makes recovery
-    return the paged read path instead of a materialized store), or
+    return the paged read path instead of a materialized store, flag
+    ``tiered`` switches the snapshot tier to size-tiered band
+    compaction, and flag ``spill`` installs a tiny overlay byte budget
+    so spills fire between snapshot intervals), or
     ``"gateway"`` (an open-loop
     client population firing through the :mod:`repro.gateway` admission
     tier into ``architecture``, with client-side retries on). Consensus
@@ -176,10 +185,12 @@ def _behaviour_flags(flags: tuple[str, ...]):
     """Toggle named behaviour flags for the duration of one run."""
     import repro.sim.node as node_module
 
-    # torn-disk / lying-disk are storage fault profiles and paged the
-    # recovery mode, all consumed by the durable target directly; they
-    # toggle nothing global.
-    known = {"ghost-timers", "torn-disk", "lying-disk", "paged"}
+    # torn-disk / lying-disk are storage fault profiles, paged the
+    # recovery mode, tiered the compaction policy, and spill a small
+    # overlay byte budget forcing mid-interval spills — all consumed by
+    # the durable target directly; they toggle nothing global.
+    known = {"ghost-timers", "torn-disk", "lying-disk", "paged", "tiered",
+             "spill"}
     unknown = set(flags) - known
     if unknown:
         raise ConfigError(f"unknown behaviour flags {sorted(unknown)}")
@@ -309,6 +320,14 @@ def _run_durable(scenario: ScenarioSpec, plan: PlanSpec) -> ScenarioResult:
         # state root against the serial oracle, so paged-vs-materialized
         # divergence surfaces as a violation.
         paged="paged" in scenario.flags,
+        # flag "tiered": size-tiered band compaction instead of the
+        # full-merge trigger — crash schedules then land mid-band-merge.
+        compaction="tiered" if "tiered" in scenario.flags else "full",
+        # flag "spill": a deliberately tiny overlay budget so snapshot
+        # spills fire *between* intervals and crashes land mid-spill.
+        overlay_budget_bytes=(
+            SPILL_FLAG_BUDGET_BYTES if "spill" in scenario.flags else 0
+        ),
     )
     monitors = _make_monitors(scenario)
     for monitor in monitors:

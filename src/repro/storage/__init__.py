@@ -45,9 +45,12 @@ from repro.storage.paged import (
     PagedRun,
     PagedSnapshot,
     PagedStateStore,
+    scan_layers,
 )
 from repro.storage.snapshots import (
     RUN_FORMAT,
+    STORAGE_TIER_COMPACTIONS,
+    CompactionPolicy,
     RunWriter,
     SnapshotStore,
     SpillBuffer,
@@ -70,6 +73,7 @@ __all__ = [
     "BlockRequest",
     "CLEAN_PROFILE",
     "ChainTail",
+    "CompactionPolicy",
     "DEFAULT_CACHE_BYTES",
     "DurableCluster",
     "DurableLedger",
@@ -87,6 +91,7 @@ __all__ = [
     "ReplayResult",
     "RunWriter",
     "STORAGE_COUNTERS",
+    "STORAGE_TIER_COMPACTIONS",
     "SnapshotStore",
     "SpillBuffer",
     "block_from_dict",
@@ -100,6 +105,7 @@ __all__ = [
     "replay_records",
     "reset_storage_counters",
     "resolve_data_dir",
+    "scan_layers",
     "segment_name",
     "state_root",
 ]

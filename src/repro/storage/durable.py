@@ -42,7 +42,7 @@ from repro.execution.contracts import ContractRegistry, standard_registry
 from repro.execution.serial import execute_block_serially
 from repro.ledger.block import Block, genesis_block
 from repro.ledger.chain import Blockchain
-from repro.ledger.store import StateStore, Version
+from repro.ledger.store import STORE_COUNTERS, StateStore, Version
 from repro.sim.core import Simulation
 from repro.sim.network import LanLatency, LatencyModel, Network
 from repro.sim.node import Node
@@ -59,7 +59,11 @@ from repro.storage.paged import (
     BlockCache,
     PagedStateStore,
 )
-from repro.storage.snapshots import SnapshotStore, SpillBuffer
+from repro.storage.snapshots import (
+    CompactionPolicy,
+    SnapshotStore,
+    SpillBuffer,
+)
 from repro.storage.wal import (
     SEGMENT_PREFIX,
     SEGMENT_SUFFIX,
@@ -215,18 +219,33 @@ class DurableLedger:
         max_runs: int = 4,
         paged: bool = False,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
+        compaction: "CompactionPolicy | str" = "full",
+        overlay_budget_bytes: int = 0,
     ) -> None:
         if snapshot_interval < 1:
             raise ConfigError(
                 f"snapshot_interval must be >= 1, got {snapshot_interval}"
+            )
+        if overlay_budget_bytes < 0:
+            raise ConfigError(
+                "overlay_budget_bytes must be >= 0, got "
+                f"{overlay_budget_bytes}"
             )
         self.backend = backend
         self.policy = (
             policy if isinstance(policy, FsyncPolicy)
             else FsyncPolicy.parse(policy)
         )
-        self.snapshots = SnapshotStore(backend, max_runs=max_runs)
+        self.snapshots = SnapshotStore(
+            backend, max_runs=max_runs, policy=compaction
+        )
         self.snapshot_interval = snapshot_interval
+        #: Resident-overlay byte threshold forcing a spill *between*
+        #: interval snapshots (0 = interval-only). The spill is a full
+        #: snapshot cycle — it must advance the anchor, because WAL
+        #: replay re-executes the tail and would double-apply
+        #: non-idempotent writes (increments) onto already-spilled state.
+        self.overlay_budget_bytes = overlay_budget_bytes
         #: Recovery mode: paged serves reads straight from run files
         #: (O(WAL tail) restart, state bigger than RAM); materialized
         #: rebuilds the full StateStore (the equivalence oracle).
@@ -263,11 +282,18 @@ class DurableLedger:
     def maybe_snapshot(
         self, anchor: Block, root: str, buffer: SpillBuffer
     ) -> bool:
-        """Spill when the WAL tail has grown ``snapshot_interval`` blocks."""
+        """Spill when the WAL tail has grown ``snapshot_interval`` blocks
+        — or earlier, when the overlay byte budget fills up."""
         manifest = self.snapshots.read_manifest()
         snapshot_height = int(manifest.get("snapshot_height", 0)) if manifest else 0
-        if anchor.height - snapshot_height < self.snapshot_interval:
+        due = anchor.height - snapshot_height >= self.snapshot_interval
+        over_budget = (
+            0 < self.overlay_budget_bytes <= buffer.resident_bytes
+        )
+        if not due and not over_budget:
             return False
+        if over_budget and not due:
+            STORE_COUNTERS["budget_spills"] += 1
         self.snapshot(anchor, root, buffer)
         return True
 
@@ -296,10 +322,7 @@ class DurableLedger:
             "state_root": root,
             "wal_segment": self.log.segment_id,
         }
-        if len(new_manifest["runs"]) > self.snapshots.max_runs:
-            self.snapshots.compact(new_manifest)
-        else:
-            self.snapshots.write_manifest(new_manifest)
+        self.snapshots.apply_policy(new_manifest)
         for segment_id in self._segment_ids():
             if segment_id < self.log.segment_id:
                 self.backend.delete(segment_name(segment_id))
@@ -584,6 +607,8 @@ class DurableNode(Node):
         cluster: "DurableCluster | None" = None,
         paged: bool = False,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
+        compaction: "CompactionPolicy | str" = "full",
+        overlay_budget_bytes: int = 0,
     ) -> None:
         super().__init__(node_id, sim, network)
         self.registry_factory = registry_factory
@@ -591,6 +616,8 @@ class DurableNode(Node):
         self.ledger = DurableLedger(
             backend, policy=policy, snapshot_interval=snapshot_interval,
             paged=paged, cache_bytes=cache_bytes,
+            compaction=compaction,
+            overlay_budget_bytes=overlay_budget_bytes,
         )
         self.orderer_id = orderer_id
         self.probe_interval = probe_interval
@@ -622,13 +649,16 @@ class DurableNode(Node):
         if self.ledger.maybe_snapshot(block, root, self._spill):
             self._spill = SpillBuffer()
             if isinstance(self.store, PagedStateStore):
-                # The spill may have compacted the disk run set, deleting
-                # files the paged store still references. Rebase onto the
-                # new manifest: safe, because every committed write also
-                # lives in the store's overlays, which keep superseding
-                # whatever the (older or equal) runs say.
+                # The spill's delta run now covers every overlay entry
+                # (the spill buffer mirrored the same committed writes,
+                # versions included), and the spill may also have
+                # compacted the disk run set, deleting files the paged
+                # store still references. Collapse: drop the overlays
+                # and serve from the new manifest's runs — this is what
+                # keeps a long-running paged node's resident memory
+                # bounded instead of growing until restart.
                 manifest = self.ledger.snapshots.read_manifest() or {}
-                self.store.rebase(manifest.get("runs", ()))
+                self.store.collapse(manifest.get("runs", ()))
         if self.cluster is not None:
             self.cluster.record_commit(
                 self.node_id, block.height, block.block_hash
@@ -757,6 +787,8 @@ class DurableCluster:
         registry_factory: Callable[[], ContractRegistry] = standard_registry,
         paged: bool = False,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
+        compaction: "CompactionPolicy | str" = "full",
+        overlay_budget_bytes: int = 0,
     ) -> None:
         if n < 1:
             raise ConfigError(f"a durable cluster needs n >= 1, got {n}")
@@ -781,6 +813,8 @@ class DurableCluster:
                 registry_factory=registry_factory,
                 policy=policy, snapshot_interval=snapshot_interval,
                 cluster=self, paged=paged, cache_bytes=cache_bytes,
+                compaction=compaction,
+                overlay_budget_bytes=overlay_budget_bytes,
             )
             self.backends[node.node_id] = backend
             self.nodes[node.node_id] = node

@@ -37,6 +37,7 @@ both paths return byte-identical values for every probed key.
 
 from __future__ import annotations
 
+import heapq
 from bisect import bisect_left, bisect_right
 from collections import OrderedDict
 from typing import Any, Iterator
@@ -195,32 +196,107 @@ class PagedRun:
             rows, _charge = self.read_block(index)
             yield from rows
 
+    def scan(
+        self, start: str | None = None, end: str | None = None
+    ) -> Iterator[list[Any]]:
+        """Rows with ``start <= key <= end`` in key order, decoding only
+        the blocks that intersect the range.
 
-def _merge_layer_keys(
+        Binary-searches the per-run block index for the first candidate
+        block (the last one whose first key is <= ``start``) and stops
+        as soon as a block's first key passes ``end`` — so the work is
+        O(blocks-in-range + log blocks), never O(run). Bypasses the
+        block cache like :meth:`iter_rows` (a wide scan must not evict
+        the point-lookup working set); every decode is counted in
+        ``STORE_COUNTERS["range_block_decodes"]``, which the E24 gate
+        pins to range size while total blocks grow.
+        """
+        if self.blocks is None:
+            # Legacy v1 blob: one implicit block, filtered in memory.
+            rows, _charge = self.read_block(0)
+            STORE_COUNTERS["range_block_decodes"] += 1
+            for row in rows:
+                if start is not None and row[0] < start:
+                    continue
+                if end is not None and row[0] > end:
+                    break
+                yield row
+            return
+        if not self.blocks:
+            return
+        index = 0
+        if start is not None:
+            index = max(0, bisect_right(self.firsts, start) - 1)
+        while index < len(self.blocks):
+            if end is not None and self.firsts[index] > end:
+                break
+            rows, _charge = self.read_block(index)
+            STORE_COUNTERS["range_block_decodes"] += 1
+            position = 0
+            if start is not None:
+                position = bisect_left(rows, start, key=lambda row: row[0])
+            for row in rows[position:]:
+                if end is not None and row[0] > end:
+                    return
+                yield row
+            index += 1
+
+
+def scan_layers(
     layers: list[dict[str, Any]],
     runs: list[PagedRun],
-    live: dict[str, None],
-    dead: set[str],
-) -> None:
-    """Fold overlay layers (newest first) then runs (newest first) into
-    ``live``/``dead`` — first sighting of a key wins."""
-    for layer in layers:
-        for key, entry in layer.items():
-            if key in live or key in dead:
+    start: str | None = None,
+    end: str | None = None,
+) -> Iterator[tuple[str, VersionedValue]]:
+    """Lazy k-way merged range scan over overlays + runs, newest-wins.
+
+    ``layers`` arrive newest first (head, then sealed newest→oldest);
+    runs are manifest order (oldest first) and take lower priority the
+    older they are. ``heapq.merge`` interleaves the per-layer sorted
+    streams by (key, priority); the first surfacing of a key is its
+    newest version, which decides — later duplicates and everything a
+    tombstone masks are skipped. Peak memory is one decoded block per
+    run plus one sorted key list per overlay slice, never the state.
+    """
+
+    def in_range(key: str) -> bool:
+        if start is not None and key < start:
+            return False
+        return end is None or key <= end
+
+    def overlay_stream(layer: dict[str, Any], priority: int):
+        for key in sorted(k for k in layer if in_range(k)):
+            yield (key, priority, layer[key])
+
+    def run_stream(run: PagedRun, priority: int):
+        for row in run.scan(start, end):
+            yield (row[0], priority, row)
+
+    streams: list[Any] = [
+        overlay_stream(layer, priority)
+        for priority, layer in enumerate(layers)
+    ]
+    base = len(layers)
+    # Newest run = lowest priority number among runs.
+    streams.extend(
+        run_stream(run, base + offset)
+        for offset, run in enumerate(reversed(runs))
+    )
+    last_key = None
+    for key, _priority, payload in heapq.merge(*streams):
+        if key == last_key:
+            continue  # superseded by a newer layer
+        last_key = key
+        if isinstance(payload, list):
+            if payload[1] is None:
+                continue  # run-tier tombstone masks older runs
+            yield key, VersionedValue(
+                payload[1], Version(int(payload[2]), int(payload[3]))
+            )
+        else:
+            if is_tombstone(payload):
                 continue
-            if is_tombstone(entry):
-                dead.add(key)
-            else:
-                live[key] = None
-    for run in reversed(runs):
-        for row in run.iter_rows():
-            key = row[0]
-            if key in live or key in dead:
-                continue
-            if row[1] is None:
-                dead.add(key)
-            else:
-                live[key] = None
+            yield key, payload
 
 
 class PagedSnapshot(StateSnapshot):
@@ -255,12 +331,20 @@ class PagedSnapshot(StateSnapshot):
         return _run_lookup(self._runs, key, self._cache)
 
     def keys(self) -> Iterator[str]:
-        live: dict[str, None] = {}
-        dead: set[str] = set()
-        _merge_layer_keys(
-            list(reversed(self._overlays)), self._runs, live, dead
+        return (
+            key
+            for key, _entry in scan_layers(
+                list(reversed(self._overlays)), self._runs
+            )
         )
-        return iter(list(live))
+
+    def scan(
+        self, start: str | None = None, end: str | None = None
+    ) -> Iterator[tuple[str, VersionedValue]]:
+        """Indexed range scan over the captured overlays + run set."""
+        return scan_layers(
+            list(reversed(self._overlays)), self._runs, start, end
+        )
 
 
 def _run_lookup(
@@ -327,6 +411,33 @@ class PagedStateStore(StateStore):
             self.cache.drop_run(run.name)
         self._runs = [PagedRun(self.backend, entry) for entry in run_entries]
 
+    def collapse(self, run_entries) -> None:
+        """Rebase onto ``run_entries`` *and* drop every overlay.
+
+        Correct only when the new run set covers everything the
+        overlays hold — i.e. immediately after a snapshot spill, whose
+        delta run (written from the spill buffer that mirrors the same
+        committed writes) carries every overlay entry, tombstones and
+        exact MVCC versions included. This is the step that bounds a
+        long-running paged node's resident memory: without it the
+        overlays grow for the life of the process, spill or not.
+        Snapshots taken before the collapse keep their captured layers
+        (never mutated) but are bound by the :class:`PagedSnapshot`
+        run-file lifetime, as with :meth:`rebase`.
+        """
+        self.rebase(run_entries)
+        self._sealed = ()
+        self._head = {}
+        # len() must be recounted lazily: tombstoned keys just left the
+        # overlays, so the incremental count no longer applies.
+        self._counted = False
+        self._len = 0
+
+    def overlay_entries(self) -> int:
+        """Resident overlay entries (head + sealed) — the quantity
+        :meth:`collapse` bounds; asserted by the E24 memory gate."""
+        return len(self._head) + sum(len(o) for o in self._sealed)
+
     def run_names(self) -> list[str]:
         return [run.name for run in self._runs]
 
@@ -344,11 +455,18 @@ class PagedStateStore(StateStore):
         return _run_lookup(self._runs, key, self.cache)
 
     def keys(self) -> list[str]:
-        live: dict[str, None] = {}
-        dead: set[str] = set()
+        return [key for key, _entry in self.scan()]
+
+    def scan(
+        self, start: str | None = None, end: str | None = None
+    ) -> Iterator[tuple[str, VersionedValue]]:
+        """Live entries with ``start <= key <= end`` in key order —
+        byte-identical to the materialized :meth:`StateStore.scan`
+        oracle, but decoding only run blocks that intersect the range
+        (binary search on each run's block index) instead of every
+        block of every run."""
         layers = [self._head] + list(reversed(self._sealed))
-        _merge_layer_keys(layers, self._runs, live, dead)
-        return list(live)
+        return scan_layers(layers, self._runs, start, end)
 
     def __len__(self) -> int:
         if not self._counted:

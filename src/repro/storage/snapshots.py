@@ -47,11 +47,13 @@ from __future__ import annotations
 import heapq
 import json
 import struct
+from dataclasses import dataclass
 from typing import Any, Iterator
 
 from repro.common.errors import StorageError
 from repro.ledger.store import (
     STORE_COUNTERS,
+    MemoryBudget,
     StateStore,
     Version,
     is_tombstone,
@@ -91,6 +93,116 @@ DEFAULT_MAX_RUNS = 4
 #: "compactions", which counts base folds inside StateStore).
 STORAGE_SNAPSHOT_COMPACTIONS = {"count": 0}
 
+#: Tiered-compaction telemetry: merges performed per size tier
+#: ({tier index: count}). Reset alongside the other storage counters.
+STORAGE_TIER_COMPACTIONS: dict[int, int] = {}
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """When and what the snapshot tier merges.
+
+    ``full`` is the PR 7 behaviour: once the run count passes
+    ``max_runs``, every live run merges into one. Write amplification
+    per trigger is O(total state) — each trigger rewrites everything.
+
+    ``tiered`` is classic size-tiered compaction: every spill run is
+    born at tier 0; once an **age-contiguous** band of ``fanout``-or-
+    more same-tier runs accumulates, the band merges into one run at
+    the next tier up, at the band's position in the manifest. Each
+    trigger rewrites O(one band), and any entry is rewritten at most
+    once per tier promotion — O(log_fanout(spills)) times over its
+    life, instead of once per trigger under ``full``. Tiers are
+    recorded explicitly in the manifest entry (``"tier"``) rather than
+    derived from file size: heavy overwrite workloads dedup a merged
+    band back down to its inputs' size, and size-derived tiers would
+    then re-merge the same data forever. (Entries written before this
+    field fall back to a size-derived tier — log base ``fanout`` of
+    bytes over ``tier_base``.) Bands must be age-contiguous because key
+    shadowing between runs is positional (newest run wins; tombstone
+    rows carry the sentinel version ``(-1, -1)``, so versions cannot
+    order them) — merging a non-contiguous subset would let an old
+    value resurface over a newer run left in the gap. Tombstones drop
+    only when the band includes the oldest run (nothing below is left
+    to mask).
+    """
+
+    kind: str = "full"
+    max_runs: int = DEFAULT_MAX_RUNS
+    fanout: int = 4
+    tier_base: int = 16 * 1024
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("full", "tiered"):
+            raise StorageError(
+                f"unknown compaction policy kind {self.kind!r}"
+            )
+        if self.max_runs < 1:
+            raise StorageError(f"max_runs must be >= 1, got {self.max_runs}")
+        if self.fanout < 2:
+            raise StorageError(f"fanout must be >= 2, got {self.fanout}")
+        if self.tier_base < 1:
+            raise StorageError(
+                f"tier_base must be >= 1, got {self.tier_base}"
+            )
+
+    @classmethod
+    def parse(
+        cls, spec: "CompactionPolicy | str", max_runs: int = DEFAULT_MAX_RUNS
+    ) -> "CompactionPolicy":
+        """``"full"``, ``"tiered"``, or ``"tiered:<fanout>"``."""
+        if isinstance(spec, CompactionPolicy):
+            return spec
+        text = spec.strip().lower()
+        if text == "full":
+            return cls(kind="full", max_runs=max_runs)
+        if text == "tiered":
+            return cls(kind="tiered", max_runs=max_runs)
+        if text.startswith("tiered:"):
+            try:
+                fanout = int(text.split(":", 1)[1])
+            except ValueError as exc:
+                raise StorageError(
+                    f"bad tiered fanout in policy {spec!r}"
+                ) from exc
+            return cls(kind="tiered", max_runs=max_runs, fanout=fanout)
+        raise StorageError(f"unknown compaction policy {spec!r}")
+
+    def tier_of(self, size_bytes: int) -> int:
+        """Size-derived fallback tier (0 = smallest) for manifest
+        entries written before the explicit ``"tier"`` field."""
+        tier = 0
+        size = max(1, int(size_bytes))
+        while size > self.tier_base:
+            size //= self.fanout
+            tier += 1
+        return tier
+
+    def entry_tier(self, entry: dict[str, Any]) -> int:
+        """A run's tier: the recorded field, or the size fallback."""
+        tier = entry.get("tier")
+        if tier is not None:
+            return int(tier)
+        return self.tier_of(int(entry.get("bytes", 0)))
+
+    def select_band(
+        self, entries: list[dict[str, Any]]
+    ) -> tuple[int, int] | None:
+        """The oldest age-contiguous same-tier band ready to merge, as
+        ``(start, count)`` over manifest positions — or None."""
+        if self.kind != "tiered":
+            return None
+        tiers = [self.entry_tier(e) for e in entries]
+        start = 0
+        while start < len(tiers):
+            end = start
+            while end < len(tiers) and tiers[end] == tiers[start]:
+                end += 1
+            if end - start >= self.fanout:
+                return (start, end - start)
+            start = end
+        return None
+
 
 def run_name(run_id: int) -> str:
     return f"{RUN_PREFIX}{run_id:06d}{RUN_SUFFIX}"
@@ -110,16 +222,40 @@ class SpillBuffer(StateStore):
     compaction, so between two spills the full delta (including
     deletes) remains reachable through :meth:`sealed_overlays`.
     Buffers are reset (replaced) after every spill, so they stay small.
+
+    Every write is also charged to a :class:`~repro.ledger.store.
+    MemoryBudget`: since the buffer holds exactly the delta since the
+    last spill, its deterministic byte estimate is the resident-overlay
+    gauge the durable ledger consults to force a spill *between*
+    interval snapshots (``overlay_budget_bytes``). Buffers are replaced
+    after every spill, so the accounting resets with them.
     """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.budget = MemoryBudget()
+
+    @property
+    def resident_bytes(self) -> int:
+        """Deterministic estimate of the delta this buffer holds."""
+        return self.budget.resident_bytes
 
     def _maybe_compact(self) -> None:  # noqa: D102 - contract in class doc
         return
+
+    def put(self, key: str, value: Any, version: Version) -> None:
+        super().put(key, value, version)
+        self.budget.charge(key, value)
 
     def delete(self, key: str) -> None:
         """Always record the tombstone: this buffer holds only the delta
         since the last spill, so the deleted key usually lives in an
         older run — skipping "absent" keys would lose the delete."""
         self.mark_deleted(key)
+
+    def mark_deleted(self, key: str) -> None:
+        super().mark_deleted(key)
+        self.budget.charge(key, None)
 
 
 def merge_overlays(overlays) -> dict[str, Any]:
@@ -158,15 +294,22 @@ class RunWriter:
         name: str,
         expected_keys: int,
         block_bytes: int = BLOCK_TARGET_BYTES,
+        purpose: str = "spill",
     ) -> None:
         if backend.exists(name):
             # A leftover orphan from a writer that crashed before its
             # manifest swap (the id was never consumed); appending to
             # its garbage would corrupt the new run.
             backend.delete(name)
+        if purpose not in ("spill", "compaction"):
+            raise StorageError(f"unknown run purpose {purpose!r}")
         self.backend = backend
         self.name = name
         self.block_bytes = block_bytes
+        #: Which write-amplification gauge the finished run charges:
+        #: ``spill`` = first write of fresh data, ``compaction`` =
+        #: rewrite of already-durable data.
+        self.purpose = purpose
         self.filter = KeyFilter.sized_for(expected_keys)
         self.blocks: list[dict[str, Any]] = []
         self.rows_written = 0
@@ -229,12 +372,17 @@ class RunWriter:
             footer_bytes + _TRAILER.pack(len(footer_bytes), _RUN_MAGIC),
         )
         self.backend.fsync(self.name)
+        total_bytes = self._offset + len(footer_bytes) + _TRAILER.size
+        STORE_COUNTERS[f"{self.purpose}_bytes_written"] += total_bytes
         return {
             "name": self.name,
             "checksum": checksum(footer_bytes),
             "rows": self.rows_written,
             "format": RUN_FORMAT,
-            "bytes": self._offset + len(footer_bytes) + _TRAILER.size,
+            "bytes": total_bytes,
+            # Fresh runs are born at tier 0; band merges overwrite this
+            # with the promoted tier (see CompactionPolicy).
+            "tier": 0,
         }
 
 
@@ -298,11 +446,21 @@ def read_run_v1(backend, entry: dict[str, Any]) -> list[list[Any]]:
 class SnapshotStore:
     """Manages run files + the manifest over one storage backend."""
 
-    def __init__(self, backend, max_runs: int = DEFAULT_MAX_RUNS) -> None:
+    def __init__(
+        self,
+        backend,
+        max_runs: int = DEFAULT_MAX_RUNS,
+        policy: CompactionPolicy | str | None = None,
+    ) -> None:
         if max_runs < 1:
             raise StorageError(f"max_runs must be >= 1, got {max_runs}")
         self.backend = backend
         self.max_runs = max_runs
+        self.policy = (
+            CompactionPolicy(max_runs=max_runs)
+            if policy is None
+            else CompactionPolicy.parse(policy, max_runs=max_runs)
+        )
 
     # -- manifest ------------------------------------------------------------
 
@@ -336,9 +494,12 @@ class SnapshotStore:
 
     # -- runs ----------------------------------------------------------------
 
-    def write_run(self, run_id: int, rows: list[list[Any]]) -> dict[str, Any]:
+    def write_run(
+        self, run_id: int, rows: list[list[Any]], purpose: str = "spill"
+    ) -> dict[str, Any]:
         """Write one blocked run file; returns its manifest entry."""
-        writer = RunWriter(self.backend, run_name(run_id), len(rows))
+        writer = RunWriter(self.backend, run_name(run_id), len(rows),
+                           purpose=purpose)
         for row in rows:
             writer.add(row)
         return writer.finish()
@@ -427,20 +588,48 @@ class SnapshotStore:
         new_manifest["runs"] = list(manifest.get("runs", ())) + [entry]
         new_manifest["next_run_id"] = run_id + 1
         new_manifest.update(manifest_updates)
-        if len(new_manifest["runs"]) > self.max_runs:
-            return self.compact(new_manifest)
-        self.write_manifest(new_manifest)
-        return new_manifest
+        return self.apply_policy(new_manifest)
 
     # -- compaction ----------------------------------------------------------
 
-    def compact(self, manifest: dict[str, Any]) -> dict[str, Any]:
-        """Merge every live run into one; atomic manifest swap.
+    def apply_policy(self, manifest: dict[str, Any]) -> dict[str, Any]:
+        """Commit ``manifest``, then run the compaction policy over it.
+
+        ``full``: the PR 7 behaviour — past ``max_runs`` live runs,
+        everything merges into one and the *merged* manifest is the only
+        swap (the pre-merge set is never referenced). ``tiered``: the
+        incoming manifest is committed first (the spill's own commit
+        point), then each qualifying age-contiguous band merges in its
+        own crash-safe write-run → swap-manifest → delete cycle,
+        repeating until no band qualifies — so a crash between band
+        merges leaves a fully readable intermediate run set.
+        """
+        if self.policy.kind == "full":
+            if len(manifest.get("runs", ())) > self.policy.max_runs:
+                return self.compact(manifest)
+            self.write_manifest(manifest)
+            return manifest
+        self.write_manifest(manifest)
+        while True:
+            band = self.policy.select_band(list(manifest.get("runs", ())))
+            if band is None:
+                return manifest
+            manifest = self.merge_band(manifest, band[0], band[1])
+
+    def merge_band(
+        self, manifest: dict[str, Any], start: int, count: int
+    ) -> dict[str, Any]:
+        """Merge ``count`` age-contiguous runs at manifest position
+        ``start`` into one; atomic manifest swap.
 
         The merge is **streaming**: a k-way heap over each run's sorted
-        row iterator, newest run winning ties, tombstones cancelling at
-        the bottom tier — so peak memory is O(block) per input run plus
-        the output writer's current block, never the merged state.
+        row iterator, newest run winning ties, tombstones cancelling
+        only when the band includes the oldest run (position 0 — with
+        anything below, a tombstone must survive to keep masking it) —
+        so peak memory is O(block) per input run plus the output
+        writer's current block, never the merged state. The merged run
+        replaces the band *at its position*, preserving the positional
+        key-shadowing order of the untouched runs around it.
 
         Ordering is the whole point:
 
@@ -452,16 +641,24 @@ class SnapshotStore:
         untouched run set (the partial merged file is unreferenced and
         garbage-collected on recovery); a crash between (2) and (3)
         leaks files but loses nothing. The crash-during-compaction
-        capsule asserts exactly this.
+        sweeps assert exactly this for both policies.
         """
         entries = list(manifest.get("runs", ()))
+        if start < 0 or count < 1 or start + count > len(entries):
+            raise StorageError(
+                f"bad compaction band ({start}, {count}) over "
+                f"{len(entries)} runs"
+            )
+        band = entries[start:start + count]
+        drop_tombstones = start == 0
         run_id = int(manifest.get("next_run_id", 1))
         writer = RunWriter(
             self.backend,
             run_name(run_id),
-            expected_keys=sum(int(e.get("rows", 0)) for e in entries),
+            expected_keys=sum(int(e.get("rows", 0)) for e in band),
+            purpose="compaction",
         )
-        # Heap keys are (row key, -run position): for a key present in
+        # Heap keys are (row key, -band position): for a key present in
         # several runs the newest (highest position) pops first, and the
         # older duplicates are skipped as they surface.
         def stream(entry: dict[str, Any], position: int):
@@ -470,25 +667,46 @@ class SnapshotStore:
 
         streams = [
             stream(entry, position)
-            for position, entry in enumerate(entries)
+            for position, entry in enumerate(band)
         ]
         last_key = None
         for key, _position, row in heapq.merge(*streams):
             if key == last_key:
                 continue  # superseded by a newer run
             last_key = key
-            if row[1] is None:
+            if row[1] is None and drop_tombstones:
                 continue  # bottom tier: tombstones cancel out
             writer.add(row)
         new_entry = writer.finish()
+        # Promote the merged run one tier above its inputs — explicit,
+        # not size-derived, so dedup-heavy merges still move upward.
+        tier = max(self.policy.entry_tier(e) for e in band) + 1
+        new_entry["tier"] = tier
         new_manifest = dict(manifest)
-        new_manifest["runs"] = [new_entry]
+        new_manifest["runs"] = (
+            entries[:start] + [new_entry] + entries[start + count:]
+        )
         new_manifest["next_run_id"] = run_id + 1
         self.write_manifest(new_manifest)
         STORAGE_SNAPSHOT_COMPACTIONS["count"] += 1
-        for entry in entries:
+        STORAGE_TIER_COMPACTIONS[tier] = (
+            STORAGE_TIER_COMPACTIONS.get(tier, 0) + 1
+        )
+        for entry in band:
             self.backend.delete(entry["name"])
         return new_manifest
+
+    def compact(self, manifest: dict[str, Any]) -> dict[str, Any]:
+        """Merge every live run into one; atomic manifest swap.
+
+        The full-merge special case of :meth:`merge_band` — the band is
+        the whole run set, so tombstones cancel for good.
+        """
+        entries = list(manifest.get("runs", ()))
+        if not entries:
+            self.write_manifest(manifest)
+            return manifest
+        return self.merge_band(manifest, 0, len(entries))
 
     # -- load ----------------------------------------------------------------
 

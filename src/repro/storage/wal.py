@@ -32,6 +32,7 @@ import zlib
 from dataclasses import dataclass
 
 from repro.common.errors import StorageError
+from repro.ledger.store import STORE_COUNTERS
 from repro.storage.backend import STORAGE_COUNTERS
 
 _MAGIC = b"WALR"
@@ -129,7 +130,10 @@ class BlockLog:
 
     def append(self, payload: bytes) -> None:
         """Append one record; fsync according to the policy."""
-        self.backend.append(self.current_segment, encode_record(payload))
+        record = encode_record(payload)
+        self.backend.append(self.current_segment, record)
+        # Write-amplification ledger: WAL bytes vs spill vs compaction.
+        STORE_COUNTERS["wal_bytes_written"] += len(record)
         self._unsynced += 1
         if self.policy.group_size and self._unsynced >= self.policy.group_size:
             self.flush()

@@ -450,3 +450,182 @@ def test_paged_chaos_scenario_is_clean():
     result = run_scenario(scenario, plan)
     assert result.decided
     assert result.violations == []
+
+
+# -- indexed range scans -------------------------------------------------------
+
+
+def test_paged_scan_merges_runs_overlays_and_tombstones():
+    backend = MemoryBackend()
+    old = write_run(backend, 1, [("a", 1), ("b", 2), ("c", 3), ("e", 5)])
+    new = write_run(backend, 2, [("b", None), ("c", 30)])  # delete + rewrite
+    store = PagedStateStore(backend, [old, new])
+    store.put("d", 4, Version(3, 0))
+    store.delete("e")
+    rows = [(key, entry.value) for key, entry in store.scan()]
+    assert rows == [("a", 1), ("c", 30), ("d", 4)]
+    # Versions survive: run rows and overlay entries alike.
+    versions = dict(
+        (key, entry.version) for key, entry in store.scan()
+    )
+    assert versions["c"] == Version(2, 1)
+    assert versions["d"] == Version(3, 0)
+    # Bounded, half-open-ish, and empty windows.
+    assert [k for k, _ in store.scan("b", "d")] == ["c", "d"]
+    assert [k for k, _ in store.scan(None, "a")] == ["a"]
+    assert [k for k, _ in store.scan("x", None)] == []
+    assert store.keys() == ["a", "c", "d"]  # keys() now sorted
+
+
+def test_paged_scan_matches_materialized_oracle():
+    backend = MemoryBackend()
+    items = [(f"k{i:04d}", i) for i in range(150)]
+    old = write_run(backend, 1, items)
+    new = write_run(
+        backend, 2,
+        [(f"k{i:04d}", None if i % 30 == 0 else i * 100)
+         for i in range(0, 150, 5)],
+    )
+    paged = PagedStateStore(backend, [old, new])
+    oracle = SnapshotStore(backend).load_state(manifest_for(old, new))
+    for start, end in ((None, None), ("k0010", "k0049"), ("k0140", None)):
+        got = [
+            (k, e.value, e.version) for k, e in paged.scan(start, end)
+        ]
+        want = [
+            (k, e.value, e.version) for k, e in oracle.scan(start, end)
+        ]
+        assert got == want, f"range ({start}, {end}) diverged"
+
+
+def test_scan_decodes_only_intersecting_blocks():
+    backend = MemoryBackend()
+    entry = write_run(backend, 1, [(f"k{i:04d}", i) for i in range(300)])
+    run = PagedRun(backend, entry)
+    total_blocks = run.block_count()
+    assert total_blocks > 5
+    store = PagedStateStore(backend, [entry])
+    reset_store_counters()
+    narrow = list(store.scan("k0100", "k0120"))
+    assert [k for k, _ in narrow] == [f"k{i:04d}" for i in range(100, 121)]
+    assert 0 < STORE_COUNTERS["range_block_decodes"] < total_blocks // 2
+    reset_store_counters()
+    assert len(list(store.scan())) == 300
+    assert STORE_COUNTERS["range_block_decodes"] == total_blocks
+
+
+def test_v1_blob_runs_scan_too():
+    backend = MemoryBackend()
+    rows = [entry_to_row(f"k{i}", i * 10, Version(1, i)) for i in range(8)]
+    payload = json.dumps(rows, sort_keys=True, separators=(",", ":")).encode()
+    backend.replace(run_name(1), payload)
+    entry = {
+        "name": run_name(1), "checksum": checksum(payload), "rows": len(rows),
+    }
+    store = PagedStateStore(backend, [entry])
+    assert [(k, e.value) for k, e in store.scan("k2", "k4")] == [
+        ("k2", 20), ("k3", 30), ("k4", 40),
+    ]
+
+
+def test_paged_store_collapse_drops_overlays_and_keeps_reads():
+    backend = MemoryBackend()
+    base = write_run(backend, 1, [("a", 1), ("b", 2)])
+    store = PagedStateStore(backend, [base])
+    store.put("c", 3, Version(2, 0))
+    store.snapshot()
+    store.delete("b")
+    assert store.overlay_entries() == 2
+    # Spill the same committed delta into run 2, then collapse onto it
+    # — exactly what the durable node does after a snapshot.
+    delta = write_run(backend, 2, [("b", None), ("c", 3)])
+    store.collapse([base, delta])
+    assert store.overlay_entries() == 0
+    assert store.get("a") == 1
+    assert store.get("b") is None
+    assert store.get("c") == 3
+    assert [k for k, _ in store.scan()] == ["a", "c"]
+
+
+# -- the (policy x budget x seed) equivalence matrix ---------------------------
+
+
+def recovered_via(backend, paged, compaction="full"):
+    return DurableLedger(
+        backend, snapshot_interval=3, compaction=compaction, paged=paged
+    ).recover(standard_registry)
+
+
+@pytest.mark.parametrize("compaction", ["full", "tiered"])
+@pytest.mark.parametrize("budget", [0, 192])
+@pytest.mark.parametrize("seed", [5, 9])
+def test_policy_budget_matrix_paged_equals_materialized(
+    compaction, budget, seed
+):
+    """Every (compaction policy, overlay budget, seed) cell: crash,
+    recover both ways, and the paged store must match the materialized
+    oracle and the live pre-crash root byte for byte."""
+    backend = MemoryBackend()
+    chain, live, root = commit_chain_through(
+        DurableLedger(
+            backend, snapshot_interval=3, compaction=compaction,
+            overlay_budget_bytes=budget,
+        ),
+        seed=seed,
+    )
+    backend.simulate_crash()
+    materialized = recovered_via(backend, paged=False, compaction=compaction)
+    paged = recovered_via(backend, paged=True, compaction=compaction)
+    assert isinstance(paged.store, PagedStateStore)
+    assert paged.tail.tip_hash() == materialized.tail.tip_hash()
+    assert paged.replayed == materialized.replayed
+    assert sorted(paged.store.keys()) == sorted(materialized.store.keys())
+    for key in materialized.store.keys():
+        assert paged.store.get_versioned(key) == (
+            materialized.store.get_versioned(key)
+        )
+    assert state_root(paged.store) == root
+    assert state_root(materialized.store) == root
+
+
+@pytest.mark.parametrize("budget", [0, 192])
+def test_tiered_state_is_byte_identical_to_full(budget):
+    """Same chain, same budget: the tiered and full-merge policies must
+    land the exact same recovered state (values and MVCC versions)."""
+    def final_state(compaction):
+        backend = MemoryBackend()
+        commit_chain_through(
+            DurableLedger(
+                backend, snapshot_interval=3, compaction=compaction,
+                overlay_budget_bytes=budget,
+            ),
+            seed=13,
+        )
+        backend.simulate_crash()
+        result = recovered_via(backend, paged=True, compaction=compaction)
+        return {
+            key: result.store.get_versioned(key)
+            for key in result.store.keys()
+        }
+
+    assert final_state("full") == final_state("tiered")
+
+
+def test_overlay_budget_forces_mid_interval_spills():
+    """With a huge snapshot interval and a tiny budget, snapshots must
+    still happen — driven by the byte budget, counted as such."""
+    backend = MemoryBackend()
+    before = STORE_COUNTERS["budget_spills"]
+    commit_chain_through(
+        DurableLedger(
+            backend, snapshot_interval=100, overlay_budget_bytes=256,
+        )
+    )
+    assert STORE_COUNTERS["budget_spills"] > before
+    manifest = SnapshotStore(backend).read_manifest()
+    assert manifest is not None and manifest["runs"]
+
+    # The unbudgeted control never snapshots inside the same interval.
+    control = MemoryBackend()
+    commit_chain_through(DurableLedger(control, snapshot_interval=100))
+    assert SnapshotStore(control).read_manifest() is None
